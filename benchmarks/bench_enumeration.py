@@ -1,0 +1,70 @@
+"""Section 5.3: linear-time enumeration vs quadratic re-rooting.
+
+"A naive first attempt ... has quadratic time complexity w.r.t. the
+data size.  However, ... we describe a linear time algorithm."  The
+crossover and the growth-rate gap between
+:func:`prime_attributes_direct` (one bottom-up + one top-down pass) and
+:func:`prime_attributes_rerooting` (one decision run per attribute) is
+the claim under test.
+
+Run:  pytest benchmarks/bench_enumeration.py --benchmark-only
+"""
+
+import pytest
+
+from repro.problems import table1_instance
+from repro.problems.primality import (
+    prime_attributes_direct,
+    prime_attributes_rerooting,
+)
+
+GADGETS = [2, 4, 8, 16]
+
+
+@pytest.fixture(scope="module")
+def instances():
+    return {g: table1_instance(g) for g in GADGETS}
+
+
+@pytest.mark.parametrize("gadgets", GADGETS, ids=lambda g: f"FD{g}")
+def test_linear_enumeration(benchmark, instances, gadgets):
+    inst = instances[gadgets]
+    primes = benchmark(
+        prime_attributes_direct, inst.schema, inst.decomposition
+    )
+    benchmark.extra_info["primes"] = len(primes)
+
+
+@pytest.mark.parametrize("gadgets", GADGETS, ids=lambda g: f"FD{g}")
+def test_quadratic_rerooting(benchmark, instances, gadgets):
+    inst = instances[gadgets]
+    primes = benchmark.pedantic(
+        prime_attributes_rerooting,
+        args=(inst.schema, inst.decomposition),
+        rounds=2,
+        iterations=1,
+    )
+    benchmark.extra_info["primes"] = len(primes)
+
+
+def test_growth_rate_gap(benchmark, instances):
+    """Enumeration time should grow like n, re-rooting like n^2: the
+    ratio (rerooting / enumeration) must widen as instances grow."""
+    from repro.bench import time_ms
+
+    ratios = []
+    for gadgets in (2, 8):
+        inst = instances[gadgets]
+        enum_ms = time_ms(
+            lambda: prime_attributes_direct(inst.schema, inst.decomposition),
+            repeat=2,
+        )
+        reroot_ms = time_ms(
+            lambda: prime_attributes_rerooting(inst.schema, inst.decomposition),
+            repeat=2,
+        )
+        ratios.append(reroot_ms / max(enum_ms, 1e-9))
+    benchmark.extra_info["ratio_small"] = round(ratios[0], 2)
+    benchmark.extra_info["ratio_large"] = round(ratios[1], 2)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert ratios[1] > ratios[0]

@@ -1,0 +1,82 @@
+"""Theorem 4.4: O(|P| * |A|) evaluation of quasi-guarded programs.
+
+The compiled Theorem 4.5 program for ``has_neighbor`` is fixed; we grow
+the data (random trees, hence width 1) and benchmark the
+grounding + LTUR pipeline.  Time per tree node should stay flat.
+
+Run:  pytest benchmarks/bench_quasi_guarded.py --benchmark-only
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ANSWER_PREDICATE,
+    QuasiGuardedEvaluator,
+    compile_unary_query,
+    undirected_graph_filter,
+)
+from repro.mso import formulas
+from repro.structures import GRAPH_SIGNATURE, Graph, graph_to_structure
+from repro.treewidth import decompose_structure, encode_normalized, normalize, widen
+
+SIZES = [20, 40, 80, 160]
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_unary_query(
+        formulas.has_neighbor("x"),
+        GRAPH_SIGNATURE,
+        width=1,
+        free_var="x",
+        structure_filter=undirected_graph_filter,
+    )
+
+
+@pytest.fixture(scope="module")
+def encoded_inputs():
+    rng = random.Random(777)
+    encoded = {}
+    for n in SIZES:
+        g = Graph(range(n))
+        for v in range(1, n):
+            g.add_edge(v, rng.randrange(v))
+        structure = graph_to_structure(g)
+        td = decompose_structure(structure)
+        if td.width < 1:
+            td = widen(td, 1)
+        encoded[n] = encode_normalized(structure, normalize(td))
+    return encoded
+
+
+@pytest.mark.parametrize("n", SIZES, ids=lambda n: f"n{n}")
+def test_grounding_pipeline_scaling(benchmark, compiled, encoded_inputs, n):
+    evaluator = QuasiGuardedEvaluator(
+        compiled.program, dependencies=compiled.dependencies()
+    )
+    encoded = encoded_inputs[n]
+    result = benchmark.pedantic(
+        evaluator.evaluate, args=(encoded,), rounds=3, iterations=1
+    )
+    answers = result.unary_answers(ANSWER_PREDICATE)
+    benchmark.extra_info["answers"] = len(answers)
+    assert answers == frozenset(range(n))  # every tree vertex has a neighbor
+
+
+def test_ground_rule_count_linear_in_data(benchmark, compiled, encoded_inputs):
+    """|ground(P)| = O(|P| * |A|): ground-rule counts per node stay flat."""
+    evaluator = QuasiGuardedEvaluator(
+        compiled.program, dependencies=compiled.dependencies()
+    )
+    per_node = {}
+    for n in (SIZES[0], SIZES[-1]):
+        result = evaluator.evaluate(encoded_inputs[n])
+        nodes = len(encoded_inputs[n].relation("bag"))
+        per_node[n] = result.ground_rules / nodes
+    benchmark.extra_info["rules_per_node_small"] = round(per_node[SIZES[0]], 1)
+    benchmark.extra_info["rules_per_node_large"] = round(per_node[SIZES[-1]], 1)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # flat within a factor of two
+    assert per_node[SIZES[-1]] < 2 * per_node[SIZES[0]] + 1

@@ -1,0 +1,95 @@
+"""Sections 1 and 6: the MSO-to-FTA state explosion, measured.
+
+The generic constructions (the Theorem 4.5 compiler and the FTA type
+automaton share the Θ↑ type space) are exponential in the signature,
+width and quantifier depth.  We measure construction time and state /
+rule counts as each parameter grows, and show the unfiltered directed-
+graph case blowing through its budget -- the quantitative version of
+"even relatively simple MSO formulae may lead to a state explosion".
+
+Run:  pytest benchmarks/bench_state_explosion.py --benchmark-only
+"""
+
+import pytest
+
+from repro.core import (
+    CompilerLimitError,
+    compile_sentence,
+    compile_unary_query,
+    undirected_graph_filter,
+)
+from repro.fta import build_type_automaton
+from repro.mso import And, ExistsInd, Not, RelAtom, formulas
+from repro.structures import GRAPH_SIGNATURE, Signature
+
+PSIG = Signature.of(p=1)
+P_SENTENCE_D1 = ExistsInd("x", RelAtom("p", ("x",)))
+P_SENTENCE_D2 = ExistsInd(
+    "x", And(RelAtom("p", ("x",)), ExistsInd("y", Not(RelAtom("p", ("y",)))))
+)
+
+
+@pytest.mark.parametrize("width", [1, 2], ids=["w1", "w2"])
+def test_compiler_growth_with_width(benchmark, width):
+    """Unary-signature sentence, depth 1: width drives the blow-up."""
+    compiled = benchmark.pedantic(
+        compile_sentence,
+        args=(P_SENTENCE_D1, PSIG, width),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["types"] = compiled.up_type_count
+    benchmark.extra_info["rules"] = len(compiled.program)
+
+
+@pytest.mark.parametrize(
+    "sentence,label", [(P_SENTENCE_D1, "k1"), (P_SENTENCE_D2, "k2")],
+    ids=["k1", "k2"],
+)
+def test_compiler_growth_with_depth(benchmark, sentence, label):
+    compiled = benchmark.pedantic(
+        compile_sentence, args=(sentence, PSIG, 1), rounds=1, iterations=1
+    )
+    benchmark.extra_info["types"] = compiled.up_type_count
+    benchmark.extra_info["rules"] = len(compiled.program)
+
+
+def test_fta_construction_k2(benchmark):
+    automaton = benchmark.pedantic(
+        build_type_automaton, args=(P_SENTENCE_D2, PSIG, 1),
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["states"] = automaton.state_count()
+    benchmark.extra_info["transitions"] = automaton.transition_count()
+
+
+def test_filtered_graph_query_compiles(benchmark):
+    """Restricting to the undirected-graph class keeps w=1/k=1 feasible."""
+    compiled = benchmark.pedantic(
+        compile_unary_query,
+        args=(formulas.has_neighbor("x"), GRAPH_SIGNATURE, 1),
+        kwargs={"structure_filter": undirected_graph_filter},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["types"] = compiled.up_type_count
+    benchmark.extra_info["rules"] = len(compiled.program)
+
+
+def test_unfiltered_graphs_blow_the_budget(benchmark):
+    """Directed graphs without a class filter: thousands of types and no
+    convergence within the budget -- the paper's state explosion."""
+
+    def blown() -> bool:
+        try:
+            compile_unary_query(
+                formulas.has_neighbor("x"),
+                GRAPH_SIGNATURE,
+                width=1,
+                max_types=2000,
+            )
+            return False
+        except CompilerLimitError:
+            return True
+
+    assert benchmark.pedantic(blown, rounds=1, iterations=1)

@@ -1,0 +1,93 @@
+"""Section 6, optimization (1): succinct non-monadic vs expanded monadic.
+
+"Our datalog programs can be regarded as succinct representations of
+big monadic datalog programs.  If all possible ground instances of our
+datalog rules had to be materialized, then we would end up with a
+ground program of the same size as with the equivalent monadic
+program."  We quantify the succinctness factor: the Figure 5/6 rule
+counts stay constant while the expanded monadic program (one unary
+predicate per solve-argument combination per bag) grows with both the
+width and the data.
+
+Run:  pytest benchmarks/bench_succinct_vs_monadic.py --benchmark-only
+"""
+
+import random
+from itertools import permutations
+
+import pytest
+
+from repro.problems import random_partial_ktree, table1_instance
+from repro.problems.primality import (
+    prepare_decision_decomposition,
+    primality_program,
+    _split_bag,
+)
+from repro.problems.three_coloring import (
+    prepare_decomposition,
+    three_coloring_program,
+)
+
+
+def three_coloring_monadic_predicate_count(nice) -> int:
+    """solve<r1,r2,r3>(s): one monadic predicate per partition of each
+    bag into three color classes (Theorem 5.1's expansion)."""
+    return sum(3 ** len(nice.bag(n)) for n in nice.tree.nodes())
+
+
+def primality_monadic_predicate_count(schema, nice) -> int:
+    """solve<Y,FY,Co,DC,FC>(s) over one bag: 2^|At| choices of Y,
+    ordered arrangements of Co, 2^|Fd| each for FY/FC and 2^|Co| for DC
+    (upper bound on the Theorem 5.3 expansion)."""
+    total = 0
+    for node in nice.tree.nodes():
+        at, fds = _split_bag(schema, nice.bag(node))
+        per_partition = 0
+        from itertools import combinations
+
+        for k in range(len(at) + 1):
+            arrangements = 1
+            for i in range(k):
+                arrangements *= k - i
+            from math import comb
+
+            per_partition += comb(len(at), k) * arrangements * (2 ** k)
+        total += per_partition * (2 ** len(fds)) * (2 ** len(fds))
+    return total
+
+
+def test_three_coloring_succinctness_factor(benchmark):
+    rng = random.Random(9)
+    graph, td = random_partial_ktree(rng, 40, 2, 0.6)
+    nice = prepare_decomposition(graph, td)
+    succinct_rules = len(three_coloring_program().rules)
+    monadic_preds = three_coloring_monadic_predicate_count(nice)
+    benchmark.extra_info["succinct_rules"] = succinct_rules
+    benchmark.extra_info["monadic_predicates"] = monadic_preds
+    benchmark.extra_info["factor"] = monadic_preds // succinct_rules
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert monadic_preds > 100 * succinct_rules
+
+
+def test_primality_succinctness_factor(benchmark):
+    inst = table1_instance(7)
+    nice = prepare_decision_decomposition(
+        inst.schema, "p0", inst.decomposition
+    )
+    succinct_rules = len(primality_program("p0").rules)
+    monadic_preds = primality_monadic_predicate_count(inst.schema, nice)
+    benchmark.extra_info["succinct_rules"] = succinct_rules
+    benchmark.extra_info["monadic_predicates_bound"] = monadic_preds
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert monadic_preds > 1000 * succinct_rules
+
+
+def test_succinct_program_is_data_independent(benchmark):
+    """The succinct program never changes; only the data grows.  (The
+    expanded monadic program grows with every node -- that growth is the
+    materialization measured in bench_grounding.)"""
+    sizes = []
+    for gadgets in (2, 8):
+        sizes.append(len(primality_program("p0").rules))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert sizes[0] == sizes[1] == 14

@@ -1,0 +1,90 @@
+"""Table 1 (Section 6): PRIMALITY processing time, MD vs the MONA stand-in.
+
+Regenerates every row of the paper's only experimental table.  The MD
+column is benchmarked for all eleven sizes (the paper: 0.1 ... 2.2 ms,
+"an essentially linear increase"); the MONA stand-in is benchmarked on
+the two smallest rows and shown to exhaust its budget afterwards, the
+analogue of the paper's out-of-memory dashes from row 4 on.
+
+Run:  pytest benchmarks/bench_table1_primality.py --benchmark-only
+"""
+
+import pytest
+
+from repro.bench import DECISION_ATTRIBUTE
+from repro.mso.eval import Budget, BudgetExceeded, evaluate
+from repro.mso.formulas import primality as primality_formula
+from repro.problems import PrimalityDatalog, table1_instance, TABLE1_SIZES
+from repro.problems.primality import primality_direct
+
+ROW_IDS = [f"Att{a}_FD{f}" for a, f in TABLE1_SIZES]
+
+
+@pytest.fixture(scope="module")
+def instances():
+    return {f: table1_instance(f) for _, f in TABLE1_SIZES}
+
+
+@pytest.mark.parametrize("num_fd", [f for _, f in TABLE1_SIZES], ids=ROW_IDS)
+def test_md_column(benchmark, instances, num_fd):
+    """The 'MD' column: Figure 6 as a direct dynamic program."""
+    inst = instances[num_fd]
+    result = benchmark(
+        primality_direct, inst.schema, DECISION_ATTRIBUTE, inst.decomposition
+    )
+    benchmark.extra_info["num_attributes"] = inst.num_attributes
+    benchmark.extra_info["treewidth"] = inst.treewidth
+    assert isinstance(result, bool)
+
+
+@pytest.mark.parametrize("num_fd", [1, 2, 4, 11], ids=lambda f: f"FD{f}")
+def test_md_datalog_column(benchmark, instances, num_fd):
+    """The same program run by the semi-naive datalog interpreter."""
+    inst = instances[num_fd]
+    solver = PrimalityDatalog(inst.schema)
+    result = benchmark.pedantic(
+        solver.decide,
+        args=(DECISION_ATTRIBUTE, inst.decomposition),
+        rounds=3,
+        iterations=1,
+    )
+    assert isinstance(result, bool)
+
+
+@pytest.mark.parametrize("num_fd", [1, 2], ids=["Att3", "Att6"])
+def test_mona_standin_small_rows(benchmark, instances, num_fd):
+    """Naive MSO evaluation is feasible only on the two smallest rows
+    (the paper's MONA manages three before going out of memory)."""
+    inst = instances[num_fd]
+    structure = inst.schema.to_structure()
+    formula = primality_formula("x")
+    benchmark.pedantic(
+        evaluate,
+        args=(structure, formula, {"x": DECISION_ATTRIBUTE}),
+        rounds=2,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("num_fd", [3, 4], ids=["Att9", "Att12"])
+def test_mona_standin_exhausts_budget(benchmark, instances, num_fd):
+    """From row 3 on the stand-in dies within its step budget -- the
+    shape of the paper's '-' entries."""
+    inst = instances[num_fd]
+    structure = inst.schema.to_structure()
+    formula = primality_formula("x")
+
+    def budgeted() -> bool:
+        try:
+            evaluate(
+                structure,
+                formula,
+                {"x": DECISION_ATTRIBUTE},
+                budget=Budget(limit=500_000),
+            )
+            return False
+        except BudgetExceeded:
+            return True
+
+    exhausted = benchmark.pedantic(budgeted, rounds=1, iterations=1)
+    assert exhausted

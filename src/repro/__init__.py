@@ -1,0 +1,28 @@
+"""repro: Monadic datalog over finite structures with bounded treewidth.
+
+A full reproduction of Gottlob, Pichler & Wei (PODS 2007 / arXiv
+0809.3140): the quasi-guarded monadic datalog evaluation pipeline
+(Theorem 4.4), the generic MSO-to-datalog compiler (Theorem 4.5), the
+hand-crafted 3-Colorability and PRIMALITY programs (Section 5), the
+MSO-to-FTA baseline the paper argues against, and the Table 1
+experiment harness -- on top of from-scratch substrates for finite
+structures, tree decompositions, datalog and MSO.
+
+See README.md for a tour and DESIGN.md for the system inventory.
+"""
+
+from . import bench, core, datalog, fta, mso, problems, structures, treewidth
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "bench",
+    "core",
+    "datalog",
+    "fta",
+    "mso",
+    "problems",
+    "structures",
+    "treewidth",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Benchmark harness shared by benchmarks/ and examples/."""
+
+from .harness import LinearityReport, fit_linear, format_ms, format_table, time_ms
+from .table1 import (
+    DECISION_ATTRIBUTE,
+    PAPER_MD_MS,
+    PAPER_MONA_MS,
+    PAPER_TREE_NODES,
+    Table1Row,
+    md_linearity,
+    render_table1,
+    run_table1,
+)
+
+__all__ = [
+    "DECISION_ATTRIBUTE",
+    "LinearityReport",
+    "PAPER_MD_MS",
+    "PAPER_MONA_MS",
+    "PAPER_TREE_NODES",
+    "Table1Row",
+    "fit_linear",
+    "format_ms",
+    "format_table",
+    "md_linearity",
+    "render_table1",
+    "run_table1",
+    "time_ms",
+]

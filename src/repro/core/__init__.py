@@ -1,0 +1,26 @@
+"""Core contribution: Theorem 4.4 pipeline, Theorem 4.5 compiler, solver."""
+
+from .mso_to_datalog import (
+    ANSWER_PREDICATE,
+    CompiledQuery,
+    CompilerLimitError,
+    MSOToDatalogCompiler,
+    compile_sentence,
+    compile_unary_query,
+    undirected_graph_filter,
+)
+from .quasi_guarded import QuasiGuardedEvaluator, QuasiGuardedResult
+from .solver import CourcelleSolver
+
+__all__ = [
+    "ANSWER_PREDICATE",
+    "CompiledQuery",
+    "CompilerLimitError",
+    "CourcelleSolver",
+    "MSOToDatalogCompiler",
+    "QuasiGuardedEvaluator",
+    "QuasiGuardedResult",
+    "compile_sentence",
+    "undirected_graph_filter",
+    "compile_unary_query",
+]

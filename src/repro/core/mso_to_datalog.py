@@ -1,0 +1,609 @@
+"""The generic MSO-to-monadic-datalog compiler (Theorem 4.5).
+
+Every MSO-definable unary query over tau-structures of treewidth w is
+definable in the quasi-guarded fragment of monadic datalog over tau_td.
+The constructive proof enumerates MSO k-types (k = quantifier depth of
+the query) of decomposition-shaped structures:
+
+* Θ↑ ("bottom-up"): types of structures pointed at the *root* bag of a
+  normalized tree decomposition.  Base case: all structures over a
+  single full bag.  Induction: extend the decomposition upward by a
+  permutation node, an element-replacement node, or a branch node
+  (Lemma 3.5 guarantees the resulting type only depends on the child
+  types and the bag data, so working on stored witnesses is sound).
+* Θ↓ ("top-down"): types of structures pointed at a *leaf* bag,
+  extended downward (Lemma 3.6).
+* Element selection: gluing a Θ↑ witness onto a Θ↓ witness covers the
+  whole structure; Lemma 3.7 makes the query answer a function of the
+  two types, checked on the glued witness by direct MSO evaluation.
+
+Every step emits one datalog rule; the result is quasi-guarded
+(``bag(v, ...)`` is the guard; v1/v2 hang off v via child1/child2).
+The program size is exponential in |φ| and w -- the paper says so
+explicitly ("inevitably leads to programs of exponential size") and
+Section 5 exists precisely because of it.  Practical instantiations
+keep k and w tiny; the growth itself is measured in
+``benchmarks/bench_state_explosion.py``.
+
+For 0-ary queries (decision problems) the Θ↓ construction and the
+element-selection step collapse to ``φ ← root(v), θ(v)`` rules -- the
+simplification described after Corollary 4.6.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from ..datalog.ast import Atom, Literal, Program, Rule, Variable, atom, neg, pos
+from ..datalog.guards import td_key_dependencies
+from ..mso.eval import evaluate
+from ..mso.syntax import Formula
+from ..mso.types import MSOType, mso_type
+from ..structures.signature import Signature
+from ..structures.structure import Element, Fact, Structure
+
+ANSWER_PREDICATE = "phi"
+
+
+class CompilerLimitError(RuntimeError):
+    """Witness structures outgrew the configured bound.
+
+    The construction is exponential; this error is the honest signal
+    that the requested (signature, w, k) combination is out of the
+    practical envelope -- precisely the regime where the paper switches
+    to the hand-crafted Section 5 programs.
+    """
+
+
+@dataclass(frozen=True)
+class TypeEntry:
+    """A k-type with its witness ``(A, bag)``."""
+
+    name: str
+    structure: Structure
+    bag: tuple[Element, ...]
+
+
+@dataclass
+class CompiledQuery:
+    """The output of the compiler, ready to run on encoded structures."""
+
+    program: Program
+    signature: Signature
+    width: int
+    quantifier_depth: int
+    free_var: str | None  # None for sentences
+    up_type_count: int
+    down_type_count: int
+
+    @property
+    def is_sentence(self) -> bool:
+        return self.free_var is None
+
+    def dependencies(self):
+        return td_key_dependencies(self.width + 2)
+
+
+def _atom_patterns(
+    signature: Signature, positions: int
+) -> list[tuple[str, tuple[int, ...]]]:
+    """Every (predicate, index-tuple) over ``positions`` bag slots --
+    the index form of the paper's R(ā)."""
+    patterns = []
+    for name in signature:
+        arity = signature.arity(name)
+        for indices in itertools.product(range(positions), repeat=arity):
+            patterns.append((name, indices))
+    return patterns
+
+
+def _facts_over(
+    structure: Structure,
+    bag: Sequence[Element],
+    patterns: Iterable[tuple[str, tuple[int, ...]]],
+) -> frozenset[tuple[str, tuple[int, ...]]]:
+    """Which R(ā) patterns hold in the structure (as index patterns)."""
+    present = set()
+    for name, indices in patterns:
+        if structure.holds(name, *(bag[i] for i in indices)):
+            present.add((name, indices))
+    return frozenset(present)
+
+
+class MSOToDatalogCompiler:
+    """Compile one MSO query for a fixed signature and treewidth."""
+
+    def __init__(
+        self,
+        formula: Formula,
+        signature: Signature,
+        width: int,
+        free_var: str | None = None,
+        quantifier_depth: int | None = None,
+        max_witness_size: int = 16,
+        max_types: int = 20000,
+        structure_filter=None,
+    ):
+        if width < 1:
+            raise ValueError("Theorem 4.5 assumes treewidth w >= 1")
+        self.formula = formula
+        self.signature = signature
+        self.width = width
+        self.free_var = free_var
+        self.k = (
+            quantifier_depth
+            if quantifier_depth is not None
+            else formula.quantifier_depth()
+        )
+        self.max_witness_size = max_witness_size
+        self.max_types = max_types
+        #: Optional predicate restricting compilation to a *class* of
+        #: structures (e.g. symmetric loop-free graphs).  Sound whenever
+        #: the class is closed under induced substructures and under the
+        #: bag-glued unions of the construction, which holds for any
+        #: class defined by a universal constraint on the relations.
+        #: Without it, the full generality of Theorem 4.5 applies -- and
+        #: so does its full exponential type space.
+        self.structure_filter = structure_filter
+        self.patterns = _atom_patterns(signature, width + 1)
+        self._up: dict[MSOType, TypeEntry] = {}
+        self._down: dict[MSOType, TypeEntry] = {}
+        self._rules: list[Rule] = []
+        self._rule_set: set[Rule] = set()
+        self._fresh = itertools.count(width + 1)
+        self._bag_vars = tuple(Variable(f"X{i}") for i in range(width + 1))
+
+    # ------------------------------------------------------------------
+    # small helpers
+    # ------------------------------------------------------------------
+
+    def _type_of(self, structure: Structure, bag: tuple[Element, ...]) -> MSOType:
+        if len(structure.domain) > self.max_witness_size:
+            raise CompilerLimitError(
+                f"witness grew to {len(structure.domain)} elements "
+                f"(limit {self.max_witness_size}); signature/width/depth "
+                "combination is outside the practical envelope of the "
+                "generic construction"
+            )
+        return mso_type(structure, bag, self.k)
+
+    def _register(
+        self,
+        table: dict[MSOType, TypeEntry],
+        prefix: str,
+        structure: Structure,
+        bag: tuple[Element, ...],
+    ) -> tuple[TypeEntry, bool]:
+        t = self._type_of(structure, bag)
+        entry = table.get(t)
+        if entry is not None:
+            return entry, False
+        if len(table) >= self.max_types:
+            raise CompilerLimitError(
+                f"more than {self.max_types} {prefix}-types; the "
+                "(signature, width, depth) combination is outside the "
+                "practical envelope -- consider a structure_filter"
+            )
+        entry = TypeEntry(f"{prefix}{len(table)}", structure, bag)
+        table[t] = entry
+        return entry, True
+
+    def _add_rule(self, rule: Rule) -> None:
+        if rule not in self._rule_set:
+            self._rule_set.add(rule)
+            self._rules.append(rule)
+
+    def _edb_literals(
+        self, present: frozenset[tuple[str, tuple[int, ...]]]
+    ) -> list[Literal]:
+        literals = []
+        for name, indices in self.patterns:
+            args = tuple(self._bag_vars[i] for i in indices)
+            literals.append(Literal(Atom(name, args), (name, indices) in present))
+        return literals
+
+    def _fresh_element(self) -> int:
+        return next(self._fresh)
+
+    def _rename_disjoint(
+        self, keep: Structure, entry: TypeEntry, onto: tuple[Element, ...]
+    ) -> Structure:
+        """Rename ``entry``'s witness: its bag onto ``onto``, every other
+        element to something fresh w.r.t. ``keep``."""
+        mapping: dict[Element, Element] = dict(zip(entry.bag, onto))
+        for element in sorted(entry.structure.domain, key=repr):
+            if element not in mapping:
+                fresh = self._fresh_element()
+                while fresh in keep.domain:
+                    fresh = self._fresh_element()
+                mapping[element] = fresh
+        return entry.structure.renamed(mapping)
+
+    # ------------------------------------------------------------------
+    # Θ↑ construction
+    # ------------------------------------------------------------------
+
+    def _base_structures(self) -> Iterator[tuple[Structure, tuple[Element, ...]]]:
+        bag = tuple(range(self.width + 1))
+        for chosen in _powerset(self.patterns):
+            facts = [
+                Fact(name, tuple(bag[i] for i in indices))
+                for name, indices in chosen
+            ]
+            structure = Structure(self.signature, bag).with_facts(facts)
+            if self.structure_filter and not self.structure_filter(structure):
+                continue
+            yield structure, bag
+
+    def _saturate(
+        self,
+        table: dict[MSOType, TypeEntry],
+        prefix: str,
+        base_rule: "callable",
+        unary_steps: "list[callable]",
+        branch_step: "callable",
+    ) -> None:
+        pending: list[TypeEntry] = []
+        for structure, bag in self._base_structures():
+            entry, new = self._register(table, prefix, structure, bag)
+            base_rule(entry, structure, bag)
+            if new:
+                pending.append(entry)
+        processed: list[TypeEntry] = []
+        while pending:
+            entry = pending.pop(0)
+            processed.append(entry)
+            for step in unary_steps:
+                for fresh_entry in step(entry):
+                    pending.append(fresh_entry)
+            for other in list(processed):
+                for fresh_entry in branch_step(entry, other):
+                    pending.append(fresh_entry)
+                if other is not entry:
+                    for fresh_entry in branch_step(other, entry):
+                        pending.append(fresh_entry)
+
+    # -- Θ↑ steps ---------------------------------------------------------
+
+    def _up_base_rule(self, entry, structure, bag) -> None:
+        present = _facts_over(structure, bag, self.patterns)
+        self._add_rule(
+            Rule(
+                Atom(entry.name, (Variable("V"),)),
+                (
+                    pos("bag", Variable("V"), *self._bag_vars),
+                    pos("leaf", Variable("V")),
+                    *self._edb_literals(present),
+                ),
+            )
+        )
+
+    def _up_permutation(self, child: TypeEntry) -> Iterator[TypeEntry]:
+        for perm in itertools.permutations(range(self.width + 1)):
+            new_bag = tuple(child.bag[perm[i]] for i in range(self.width + 1))
+            entry, new = self._register(
+                self._up, "up", child.structure, new_bag
+            )
+            v, vc = Variable("V"), Variable("Vc")
+            self._add_rule(
+                Rule(
+                    Atom(entry.name, (v,)),
+                    (
+                        pos("bag", v, *(self._bag_vars[perm[i]] for i in range(self.width + 1))),
+                        pos("child1", vc, v),
+                        pos(child.name, vc),
+                        pos("bag", vc, *self._bag_vars),
+                    ),
+                )
+            )
+            if new:
+                yield entry
+
+    def _up_replacement(self, child: TypeEntry) -> Iterator[TypeEntry]:
+        yield from self._replacement(child, self._up, "up", upward=True)
+
+    def _replacement(
+        self,
+        child: TypeEntry,
+        table: dict[MSOType, TypeEntry],
+        prefix: str,
+        upward: bool,
+    ) -> Iterator[TypeEntry]:
+        """Element replacement, shared by Θ↑ and Θ↓ (the new node is the
+        parent when ``upward`` else the child, but the structure growth
+        and the EDB-literal block are identical)."""
+        fresh = self._fresh_element()
+        while fresh in child.structure.domain:
+            fresh = self._fresh_element()
+        new_bag = (fresh,) + child.bag[1:]
+        grown = child.structure.with_elements([fresh])
+        candidate_patterns = [
+            (name, indices) for name, indices in self.patterns if 0 in indices
+        ]
+        for chosen in _powerset(candidate_patterns):
+            facts = [
+                Fact(name, tuple(new_bag[i] for i in indices))
+                for name, indices in chosen
+            ]
+            structure = grown.with_facts(facts)
+            if self.structure_filter and not self.structure_filter(structure):
+                continue
+            entry, new = self._register(table, prefix, structure, new_bag)
+            present = _facts_over(structure, new_bag, self.patterns)
+            v, vc = Variable("V"), Variable("Vc")
+            old_x0 = Variable("Xold0")
+            child_bag_vars = (old_x0,) + self._bag_vars[1:]
+            if upward:
+                tree_edge = pos("child1", vc, v)
+            else:
+                tree_edge = pos("child1", v, vc)
+            self._add_rule(
+                Rule(
+                    Atom(entry.name, (v,)),
+                    (
+                        pos("bag", v, *self._bag_vars),
+                        tree_edge,
+                        pos(child.name, vc),
+                        pos("bag", vc, *child_bag_vars),
+                        *self._edb_literals(present),
+                    ),
+                )
+            )
+            if new:
+                yield entry
+
+    def _up_branch(
+        self, first: TypeEntry, second: TypeEntry
+    ) -> Iterator[TypeEntry]:
+        glued = self._glue(first, second)
+        if glued is None:
+            return
+        entry, new = self._register(self._up, "up", glued, first.bag)
+        v, v1, v2 = Variable("V"), Variable("V1"), Variable("V2")
+        self._add_rule(
+            Rule(
+                Atom(entry.name, (v,)),
+                (
+                    pos("bag", v, *self._bag_vars),
+                    pos("child1", v1, v),
+                    pos(first.name, v1),
+                    pos("child2", v2, v),
+                    pos(second.name, v2),
+                    pos("bag", v1, *self._bag_vars),
+                    pos("bag", v2, *self._bag_vars),
+                ),
+            )
+        )
+        if new:
+            yield entry
+
+    def _glue(self, first: TypeEntry, second: TypeEntry) -> Structure | None:
+        """Rename ``second`` onto ``first``'s bag and union, provided the
+        bag EDBs agree (the paper's consistency check)."""
+        renamed = self._rename_disjoint(first.structure, second, first.bag)
+        first_edb = _facts_over(first.structure, first.bag, self.patterns)
+        second_edb = _facts_over(renamed, first.bag, self.patterns)
+        if first_edb != second_edb:
+            return None
+        return first.structure.disjoint_union(renamed)
+
+    def build_up(self) -> None:
+        self._saturate(
+            self._up,
+            "up",
+            self._up_base_rule,
+            [self._up_permutation, self._up_replacement],
+            self._up_branch,
+        )
+
+    # ------------------------------------------------------------------
+    # Θ↓ construction
+    # ------------------------------------------------------------------
+
+    def _down_base_rule(self, entry, structure, bag) -> None:
+        present = _facts_over(structure, bag, self.patterns)
+        self._add_rule(
+            Rule(
+                Atom(entry.name, (Variable("V"),)),
+                (
+                    pos("bag", Variable("V"), *self._bag_vars),
+                    pos("root", Variable("V")),
+                    *self._edb_literals(present),
+                ),
+            )
+        )
+
+    def _down_permutation(self, parent: TypeEntry) -> Iterator[TypeEntry]:
+        for perm in itertools.permutations(range(self.width + 1)):
+            new_bag = tuple(parent.bag[perm[i]] for i in range(self.width + 1))
+            entry, new = self._register(
+                self._down, "down", parent.structure, new_bag
+            )
+            v, vp = Variable("V"), Variable("Vc")
+            self._add_rule(
+                Rule(
+                    Atom(entry.name, (v,)),
+                    (
+                        pos("bag", v, *(self._bag_vars[perm[i]] for i in range(self.width + 1))),
+                        pos("child1", v, vp),
+                        pos(parent.name, vp),
+                        pos("bag", vp, *self._bag_vars),
+                    ),
+                )
+            )
+            if new:
+                yield entry
+
+    def _down_replacement(self, parent: TypeEntry) -> Iterator[TypeEntry]:
+        yield from self._replacement(parent, self._down, "down", upward=False)
+
+    def _down_branch(
+        self, down_entry: TypeEntry, up_entry: TypeEntry
+    ) -> Iterator[TypeEntry]:
+        """Attach an Θ↑ subtree as a sibling: the new leaf s1 sees the
+        whole of ``down_entry``'s structure plus ``up_entry``'s."""
+        glued = self._glue(down_entry, up_entry)
+        if glued is None:
+            return
+        entry, new = self._register(self._down, "down", glued, down_entry.bag)
+        v, v1, v2 = Variable("V"), Variable("V1"), Variable("V2")
+        for new_leaf, sibling in ((v1, v2), (v2, v1)):
+            self._add_rule(
+                Rule(
+                    Atom(entry.name, (new_leaf,)),
+                    (
+                        pos("bag", new_leaf, *self._bag_vars),
+                        pos("child1", v1, v),
+                        pos("child2", v2, v),
+                        pos(down_entry.name, v),
+                        pos(up_entry.name, sibling),
+                        pos("bag", v, *self._bag_vars),
+                        pos("bag", sibling, *self._bag_vars),
+                    ),
+                )
+            )
+        if new:
+            yield entry
+
+    def build_down(self) -> None:
+        pending: list[TypeEntry] = []
+        for structure, bag in self._base_structures():
+            entry, new = self._register(self._down, "down", structure, bag)
+            self._down_base_rule(entry, structure, bag)
+            if new:
+                pending.append(entry)
+        processed: list[TypeEntry] = []
+        up_entries = list(self._up.values())
+        while pending:
+            entry = pending.pop(0)
+            processed.append(entry)
+            for step in (self._down_permutation, self._down_replacement):
+                pending.extend(step(entry))
+            for up_entry in up_entries:
+                pending.extend(self._down_branch(entry, up_entry))
+
+    # ------------------------------------------------------------------
+    # Answer rules
+    # ------------------------------------------------------------------
+
+    def build_selection(self) -> None:
+        """Element selection (part 3 of the proof): glue each Θ↑ type to
+        each Θ↓ type and test the query on the combined witness."""
+        v = Variable("V")
+        for up_entry in self._up.values():
+            for down_entry in self._down.values():
+                glued = self._glue(up_entry, down_entry)
+                if glued is None:
+                    continue
+                for i, element in enumerate(up_entry.bag):
+                    if evaluate(glued, self.formula, {self.free_var: element}):
+                        self._add_rule(
+                            Rule(
+                                Atom(ANSWER_PREDICATE, (self._bag_vars[i],)),
+                                (
+                                    pos(up_entry.name, v),
+                                    pos(down_entry.name, v),
+                                    pos("bag", v, *self._bag_vars),
+                                ),
+                            )
+                        )
+
+    def build_sentence_rules(self) -> None:
+        """Decision-variant simplification: φ ← root(v), θ(v)."""
+        v = Variable("V")
+        for t, entry in self._up.items():
+            if evaluate(entry.structure, self.formula):
+                self._add_rule(
+                    Rule(
+                        Atom(ANSWER_PREDICATE, ()),
+                        (pos("root", v), pos(entry.name, v)),
+                    )
+                )
+
+    # ------------------------------------------------------------------
+
+    def compile(self) -> CompiledQuery:
+        self.build_up()
+        if self.free_var is None:
+            self.build_sentence_rules()
+        else:
+            self.build_down()
+            self.build_selection()
+        program = Program(self._rules)
+        return CompiledQuery(
+            program=program,
+            signature=self.signature,
+            width=self.width,
+            quantifier_depth=self.k,
+            free_var=self.free_var,
+            up_type_count=len(self._up),
+            down_type_count=len(self._down),
+        )
+
+
+def _powerset(items):
+    from .._util import powerset
+
+    return powerset(items)
+
+
+def undirected_graph_filter(structure: Structure) -> bool:
+    """Restrict compilation to symmetric, loop-free {e}-structures.
+
+    The class of (encodings of) undirected simple graphs is closed under
+    induced substructures and bag-glued unions, so compiling relative to
+    it is sound; it shrinks the type space from the astronomically many
+    directed-graph types to a handful.
+    """
+    edges = structure.relation("e")
+    for u, v in edges:
+        if u == v or (v, u) not in edges:
+            return False
+    return True
+
+
+def compile_unary_query(
+    formula: Formula,
+    signature: Signature,
+    width: int,
+    free_var: str = "x",
+    quantifier_depth: int | None = None,
+    max_witness_size: int = 16,
+    max_types: int = 20000,
+    structure_filter=None,
+) -> CompiledQuery:
+    """Theorem 4.5 for a unary query φ(x)."""
+    return MSOToDatalogCompiler(
+        formula,
+        signature,
+        width,
+        free_var=free_var,
+        quantifier_depth=quantifier_depth,
+        max_witness_size=max_witness_size,
+        max_types=max_types,
+        structure_filter=structure_filter,
+    ).compile()
+
+
+def compile_sentence(
+    formula: Formula,
+    signature: Signature,
+    width: int,
+    quantifier_depth: int | None = None,
+    max_witness_size: int = 16,
+    max_types: int = 20000,
+    structure_filter=None,
+) -> CompiledQuery:
+    """Theorem 4.5's decision variant for a sentence φ."""
+    return MSOToDatalogCompiler(
+        formula,
+        signature,
+        width,
+        free_var=None,
+        quantifier_depth=quantifier_depth,
+        max_witness_size=max_witness_size,
+        max_types=max_types,
+        structure_filter=structure_filter,
+    ).compile()

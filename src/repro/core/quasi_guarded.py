@@ -1,0 +1,72 @@
+"""The Theorem 4.4 evaluation pipeline.
+
+A quasi-guarded program P over a structure A is evaluated in
+O(|P| * |A|): instantiate each rule's guard against the database (at
+most |A| instantiations, each determining every variable of the rule),
+then solve the resulting ground program by linear-time unit resolution.
+This module packages the two halves
+(:mod:`repro.datalog.grounding` + :mod:`repro.datalog.horn`) behind a
+checked facade and is what the generic Theorem 4.5 programs run on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datalog.ast import Program
+from ..datalog.builtins import BuiltinRegistry
+from ..datalog.evaluate import Database
+from ..datalog.grounding import GroundingStats, evaluate_via_grounding
+from ..datalog.guards import KeyDependency, is_quasi_guarded, td_key_dependencies
+from ..structures.structure import Fact, Structure
+
+
+@dataclass
+class QuasiGuardedResult:
+    facts: frozenset[Fact]
+    ground_rules: int
+
+    def holds(self, predicate: str, *args) -> bool:
+        return Fact(predicate, tuple(args)) in self.facts
+
+    def unary_answers(self, predicate: str) -> frozenset:
+        return frozenset(
+            f.args[0] for f in self.facts if f.predicate == predicate
+        )
+
+
+class QuasiGuardedEvaluator:
+    """Evaluate a quasi-guarded program per Theorem 4.4.
+
+    ``dependencies`` are the key constraints used to witness functional
+    dependence (Definition 4.3); they default to the ``A_td``
+    constraints for the given bag arity.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        bag_arity: int | None = None,
+        dependencies: tuple[KeyDependency, ...] | None = None,
+        registry: BuiltinRegistry | None = None,
+        require_quasi_guarded: bool = True,
+    ):
+        self.program = program
+        if dependencies is None:
+            dependencies = (
+                td_key_dependencies(bag_arity) if bag_arity is not None else ()
+            )
+        self.dependencies = dependencies
+        self.registry = registry
+        if require_quasi_guarded and not is_quasi_guarded(program, dependencies):
+            raise ValueError(
+                "program is not quasi-guarded under the declared key "
+                "dependencies (Definition 4.3)"
+            )
+
+    def evaluate(self, data: Structure | Database) -> QuasiGuardedResult:
+        stats = GroundingStats()
+        facts = evaluate_via_grounding(
+            self.program, data, registry=self.registry, stats=stats
+        )
+        return QuasiGuardedResult(frozenset(facts), stats.ground_rules)

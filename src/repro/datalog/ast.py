@@ -1,0 +1,231 @@
+"""Datalog abstract syntax (Section 2.4).
+
+A datalog program is a set of function-free Horn clauses.  We extend the
+bare calculus with two features the paper itself uses:
+
+* *stratified negation* on body literals -- the generic program of
+  Theorem 4.5 contains negated extensional atoms
+  (``{¬Ri(...) | R(...) not in E(A)}``);
+* *built-in predicates* -- "the possibility to define new built-in
+  predicates if they admit an efficient implementation by the
+  interpreter" (Section 1); Figures 5 and 6 use set operators that are
+  registered as built-ins in :mod:`repro.datalog.builtins`.
+
+Constants carry arbitrary hashable Python values, which is what makes
+the succinct set-valued programs of Section 5 expressible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from ..structures.structure import Fact
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A datalog variable (conventionally starts with an upper-case letter)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant term wrapping an arbitrary hashable value."""
+
+    value: Hashable
+
+    def __str__(self) -> str:
+        value = self.value
+        if isinstance(value, frozenset):
+            inner = ",".join(sorted(map(str, value)))
+            return "{" + inner + "}"
+        if isinstance(value, tuple):
+            return "<" + ",".join(map(str, value)) + ">"
+        return str(value)
+
+
+Term = Variable | Constant
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``predicate(t1, ..., tn)`` over variables and constants."""
+
+    predicate: str
+    args: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        for arg in self.args:
+            if not isinstance(arg, (Variable, Constant)):
+                raise TypeError(f"argument {arg!r} is not a Term")
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def variables(self) -> Iterator[Variable]:
+        for arg in self.args:
+            if isinstance(arg, Variable):
+                yield arg
+
+    def is_ground(self) -> bool:
+        return all(isinstance(arg, Constant) for arg in self.args)
+
+    def substitute(self, binding: Mapping[Variable, Constant]) -> "Atom":
+        return Atom(
+            self.predicate,
+            tuple(
+                binding.get(arg, arg) if isinstance(arg, Variable) else arg
+                for arg in self.args
+            ),
+        )
+
+    def to_fact(self) -> Fact:
+        if not self.is_ground():
+            raise ValueError(f"atom {self} is not ground")
+        return Fact(self.predicate, tuple(arg.value for arg in self.args))
+
+    @classmethod
+    def from_fact(cls, fact: Fact) -> "Atom":
+        return cls(fact.predicate, tuple(Constant(v) for v in fact.args))
+
+    def __str__(self) -> str:
+        inner = ", ".join(map(str, self.args))
+        return f"{self.predicate}({inner})"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A possibly negated atom in a rule body."""
+
+    atom: Atom
+    positive: bool = True
+
+    def variables(self) -> Iterator[Variable]:
+        return self.atom.variables()
+
+    def negated(self) -> "Literal":
+        return Literal(self.atom, not self.positive)
+
+    def __str__(self) -> str:
+        return str(self.atom) if self.positive else f"not {self.atom}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body.``  A fact is a rule with an empty body."""
+
+    head: Atom
+    body: tuple[Literal, ...] = ()
+
+    def variables(self) -> set[Variable]:
+        out = set(self.head.variables())
+        for literal in self.body:
+            out.update(literal.variables())
+        return out
+
+    def is_fact(self) -> bool:
+        return not self.body and self.head.is_ground()
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        inner = ", ".join(map(str, self.body))
+        return f"{self.head} :- {inner}."
+
+
+class Program:
+    """An ordered collection of rules with derived metadata.
+
+    ``builtin_names`` lists predicates evaluated by the interpreter
+    rather than looked up in the database; they are neither extensional
+    nor intensional.
+    """
+
+    __slots__ = ("rules", "builtin_names")
+
+    def __init__(self, rules: Iterable[Rule], builtin_names: Iterable[str] = ()):
+        self.rules = tuple(rules)
+        self.builtin_names = frozenset(builtin_names)
+        clash = self.builtin_names & self.intensional_predicates()
+        if clash:
+            raise ValueError(f"built-ins also defined by rules: {sorted(clash)}")
+
+    def intensional_predicates(self) -> frozenset[str]:
+        """Predicates occurring in some rule head (Section 2.4)."""
+        return frozenset(rule.head.predicate for rule in self.rules)
+
+    def extensional_predicates(self) -> frozenset[str]:
+        """Body-only, non-built-in predicates."""
+        idb = self.intensional_predicates()
+        out = set()
+        for rule in self.rules:
+            for literal in rule.body:
+                name = literal.atom.predicate
+                if name not in idb and name not in self.builtin_names:
+                    out.add(name)
+        return frozenset(out)
+
+    def is_monadic(self) -> bool:
+        """All intensional predicates unary (Definition 4.1)."""
+        idb = self.intensional_predicates()
+        for rule in self.rules:
+            if rule.head.arity != 1:
+                return False
+            for literal in rule.body:
+                if literal.atom.predicate in idb and literal.atom.arity != 1:
+                    return False
+        return True
+
+    def size(self) -> int:
+        """|P|: total number of literals, the program-size measure of
+        Theorem 4.4."""
+        return sum(1 + len(rule.body) for rule in self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)
+
+
+# -- convenience constructors used throughout the problem modules --------
+
+
+def var(name: str) -> Variable:
+    return Variable(name)
+
+
+def const(value: Hashable) -> Constant:
+    return Constant(value)
+
+
+def _term(value) -> Term:
+    if isinstance(value, (Variable, Constant)):
+        return value
+    return Constant(value)
+
+
+def atom(predicate: str, *args) -> Atom:
+    """Build an atom, auto-wrapping non-Term arguments as constants."""
+    return Atom(predicate, tuple(_term(a) for a in args))
+
+
+def pos(predicate: str, *args) -> Literal:
+    return Literal(atom(predicate, *args), True)
+
+
+def neg(predicate: str, *args) -> Literal:
+    return Literal(atom(predicate, *args), False)
+
+
+def rule(head: Atom, *body: Literal) -> Rule:
+    return Rule(head, tuple(body))

@@ -1,0 +1,333 @@
+"""Built-in predicates with binding-pattern-aware evaluation.
+
+Section 1 lists "the possibility to define new built-in predicates if
+they admit an efficient implementation by the interpreter" among
+datalog's advantages, and Section 5 leans on it: the programs of
+Figures 5 and 6 manipulate fixed-size sets with ``⊎``, ``∪``, ``∩``,
+``⊆``, ``∈`` and ordered sets.  Those operators are implemented here.
+
+A built-in receives a tuple of argument *slots*; bound slots carry the
+concrete value, unbound slots carry :data:`UNBOUND`.  It yields one
+tuple of concrete values per solution.  ``can_evaluate`` advertises the
+binding patterns a built-in supports, which the rule planner uses to
+order body literals.
+
+Set-valued constants are frozensets; ordered sets (``Co`` in Figure 6)
+are tuples.  All of these are "fixed-size" in the paper's sense -- their
+cardinality is bounded by the bag size ``w + 1`` -- which is what makes
+the succinct programs equivalent to monadic ones (Theorem 5.1/5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Iterator
+
+from .._util import interleavings, powerset
+
+
+class _Unbound:
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNBOUND"
+
+
+UNBOUND = _Unbound()
+
+Slots = tuple  # values or UNBOUND
+
+
+def _mask(slots: Slots) -> tuple[bool, ...]:
+    return tuple(s is not UNBOUND for s in slots)
+
+
+class Builtin:
+    """Base class: subclasses implement ``solutions`` for the patterns
+    they declare in ``patterns`` (a set of bound-masks, or ``None`` for
+    "all arguments must be bound")."""
+
+    name: str
+    arity: int
+    #: supported binding masks; True = bound.  ``None`` means fully bound only.
+    patterns: frozenset[tuple[bool, ...]] | None = None
+
+    def can_evaluate(self, mask: tuple[bool, ...]) -> bool:
+        if all(mask):
+            return True
+        if self.patterns is None:
+            return False
+        # a pattern with fewer bound slots than we have is still fine
+        return any(
+            all(b or not need for b, need in zip(mask, pattern))
+            for pattern in self.patterns
+        )
+
+    def solutions(self, slots: Slots) -> Iterator[tuple]:
+        raise NotImplementedError
+
+    def evaluate(self, slots: Slots) -> Iterator[tuple]:
+        if len(slots) != self.arity:
+            raise ValueError(
+                f"{self.name}/{self.arity} called with {len(slots)} slots"
+            )
+        if not self.can_evaluate(_mask(slots)):
+            raise ValueError(
+                f"built-in {self.name} cannot run with binding {_mask(slots)}"
+            )
+        for solution in self.solutions(slots):
+            if all(
+                s is UNBOUND or s == v for s, v in zip(slots, solution)
+            ):
+                yield solution
+
+
+class _CheckBuiltin(Builtin):
+    """A fully-bound test: ``predicate(args)`` holds or not."""
+
+    def __init__(self, name: str, arity: int, test: Callable[..., bool]):
+        self.name = name
+        self.arity = arity
+        self._test = test
+
+    def solutions(self, slots: Slots) -> Iterator[tuple]:
+        if self._test(*slots):
+            yield tuple(slots)
+
+
+class _FunctionBuiltin(Builtin):
+    """Last argument computed from the others; also usable as a check."""
+
+    def __init__(self, name: str, arity: int, fn: Callable[..., Hashable]):
+        self.name = name
+        self.arity = arity
+        self._fn = fn
+        self.patterns = frozenset(
+            {tuple([True] * (arity - 1) + [False])}
+        )
+
+    def solutions(self, slots: Slots) -> Iterator[tuple]:
+        inputs = slots[:-1]
+        if any(s is UNBOUND for s in inputs):
+            raise ValueError(f"{self.name}: inputs must be bound")
+        yield tuple(inputs) + (self._fn(*inputs),)
+
+
+class AddElement(Builtin):
+    """``add(S, V, T)``: ``T = S ⊎ {V}`` (V not already in S).
+
+    Patterns: (S, V bound -> T), (T bound -> enumerate S, V),
+    (T, V bound -> S), (T, S bound -> V).
+    """
+
+    name = "add"
+    arity = 3
+    patterns = frozenset(
+        {
+            (True, True, False),
+            (False, False, True),
+        }
+    )
+
+    def solutions(self, slots: Slots) -> Iterator[tuple]:
+        s, v, t = slots
+        if s is not UNBOUND and v is not UNBOUND:
+            if v in s:
+                return
+            yield (s, v, frozenset(s) | {v})
+            return
+        if t is UNBOUND:
+            raise ValueError("add/3 needs either (S,V) or T bound")
+        for v_out in sorted(t, key=repr):
+            yield (frozenset(t) - {v_out}, v_out, frozenset(t))
+
+
+class Subset(Builtin):
+    """``subset(S, T)``: S ⊆ T.  With S unbound, enumerates subsets of T."""
+
+    name = "subset"
+    arity = 2
+    patterns = frozenset({(False, True)})
+
+    def solutions(self, slots: Slots) -> Iterator[tuple]:
+        s, t = slots
+        if s is not UNBOUND:
+            if frozenset(s) <= frozenset(t):
+                yield (s, t)
+            return
+        for sub in powerset(sorted(t, key=repr)):
+            yield (frozenset(sub), t)
+
+
+class PartitionTwo(Builtin):
+    """``partition2(X, Y, Z)``: Y ⊎ Z = X (Y ∩ Z = ∅; Y ∪ Z = X).
+
+    With only X bound, enumerates all 2-partitions.
+    """
+
+    name = "partition2"
+    arity = 3
+    patterns = frozenset(
+        {(True, False, False), (True, True, False), (True, False, True)}
+    )
+
+    def solutions(self, slots: Slots) -> Iterator[tuple]:
+        x, y, z = slots
+        x = frozenset(x)
+        if y is not UNBOUND:
+            y = frozenset(y)
+            if y <= x:
+                yield (x, y, x - y)
+            return
+        if z is not UNBOUND:
+            z = frozenset(z)
+            if z <= x:
+                yield (x, x - z, z)
+            return
+        for sub in powerset(sorted(x, key=repr)):
+            y_out = frozenset(sub)
+            yield (x, y_out, x - y_out)
+
+
+class PartitionThree(Builtin):
+    """``partition3(X, R, G, B)``: R, G, B partition X.
+
+    The ``partition`` helper of the 3-Colorability program (Figure 5).
+    """
+
+    name = "partition3"
+    arity = 4
+    patterns = frozenset({(True, False, False, False)})
+
+    def solutions(self, slots: Slots) -> Iterator[tuple]:
+        x = frozenset(slots[0])
+        items = sorted(x, key=repr)
+        def assignments(i: int, parts: tuple[frozenset, frozenset, frozenset]):
+            if i == len(items):
+                yield parts
+                return
+            for j in range(3):
+                updated = tuple(
+                    p | {items[i]} if k == j else p for k, p in enumerate(parts)
+                )
+                yield from assignments(i + 1, updated)
+
+        empty = (frozenset(), frozenset(), frozenset())
+        for r, g, b in assignments(0, empty):
+            yield (x, r, g, b)
+
+
+class OrderedInsert(Builtin):
+    """``oinsert(C, V, C2)``: ordered set C2 arises by inserting V into C.
+
+    Figure 6 writes ``Co ⊎ {b}`` for ordered sets: "b is arbitrarily
+    inserted into Co, leaving the order of the remaining elements
+    unchanged".  With (C, V) bound this *enumerates* the insertion
+    positions; with C2 bound it recovers (C, V) by deleting each element.
+    """
+
+    name = "oinsert"
+    arity = 3
+    patterns = frozenset({(True, True, False), (False, False, True)})
+
+    def solutions(self, slots: Slots) -> Iterator[tuple]:
+        c, v, c2 = slots
+        if c is not UNBOUND and v is not UNBOUND:
+            if v in c:
+                return
+            for inserted in interleavings(c, v):
+                yield (c, v, inserted)
+            return
+        if c2 is UNBOUND:
+            raise ValueError("oinsert/3 needs (C,V) or C2 bound")
+        for i, v_out in enumerate(c2):
+            yield (c2[:i] + c2[i + 1 :], v_out, c2)
+
+
+class OrderedSubsets(Builtin):
+    """``osubsets(X, C)``: C is an ordered arrangement of a subset of X.
+
+    Enumerates every (subset, order) pair -- the leaf-rule "guess" of the
+    ordered set Co in Figure 6.
+    """
+
+    name = "osubsets"
+    arity = 2
+    patterns = frozenset({(True, False)})
+
+    def solutions(self, slots: Slots) -> Iterator[tuple]:
+        from itertools import permutations
+
+        x, c = slots
+        if c is not UNBOUND:
+            if len(set(c)) == len(c) and set(c) <= set(x):
+                yield (x, c)
+            return
+        for sub in powerset(sorted(frozenset(x), key=repr)):
+            for arrangement in permutations(sub):
+                yield (x, arrangement)
+
+
+def make_check(name: str, arity: int, test: Callable[..., bool]) -> Builtin:
+    """A fully-bound boolean test built-in."""
+    return _CheckBuiltin(name, arity, test)
+
+
+def make_function(name: str, arity: int, fn: Callable[..., Hashable]) -> Builtin:
+    """A built-in computing its last argument from the others."""
+    return _FunctionBuiltin(name, arity, fn)
+
+
+class BuiltinRegistry:
+    """Name -> Builtin lookup handed to the evaluator."""
+
+    def __init__(self, builtins: Iterable[Builtin] = ()):
+        self._by_name: dict[str, Builtin] = {}
+        for builtin in builtins:
+            self.register(builtin)
+
+    def register(self, builtin: Builtin) -> None:
+        if builtin.name in self._by_name:
+            raise ValueError(f"built-in {builtin.name} already registered")
+        self._by_name[builtin.name] = builtin
+
+    def get(self, name: str) -> Builtin:
+        return self._by_name[name]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def names(self) -> frozenset[str]:
+        return frozenset(self._by_name)
+
+
+def standard_registry() -> BuiltinRegistry:
+    """The stock of built-ins shared by the Section 5 programs."""
+    registry = BuiltinRegistry(
+        [
+            AddElement(),
+            Subset(),
+            PartitionTwo(),
+            PartitionThree(),
+            OrderedInsert(),
+            OrderedSubsets(),
+            make_check("eq", 2, lambda a, b: a == b),
+            make_check("neq", 2, lambda a, b: a != b),
+            make_check("lt", 2, lambda a, b: a < b),
+            make_check("le", 2, lambda a, b: a <= b),
+            make_check("member", 2, lambda v, s: v in s),
+            make_check("not_member", 2, lambda v, s: v not in s),
+            make_check("subseteq", 2, lambda s, t: frozenset(s) <= frozenset(t)),
+            make_check("disjoint", 2, lambda s, t: not (frozenset(s) & frozenset(t))),
+            make_check("empty", 1, lambda s: not s),
+            make_function("union", 3, lambda a, b: frozenset(a) | frozenset(b)),
+            make_function("intersection", 3, lambda a, b: frozenset(a) & frozenset(b)),
+            make_function("setminus", 3, lambda a, b: frozenset(a) - frozenset(b)),
+            make_function("oset_to_set", 2, lambda c: frozenset(c)),
+        ]
+    )
+    return registry

@@ -1,0 +1,496 @@
+"""Bottom-up datalog evaluation (naive and semi-naive).
+
+The least fixpoint of ``P ∪ A`` (Section 2.4) is computed bottom-up.
+``SemiNaiveEvaluator`` implements stratified semi-naive evaluation with
+on-demand hash indexes and built-in predicates; ``naive_least_fixpoint``
+re-derives everything each round and exists as the ablation baseline for
+the engine benchmark.
+
+This evaluator is the "interpreter" of Section 6; the lazy behaviour the
+paper highlights as optimization (2) -- "generating only those ground
+instances of rules which actually produce new facts" -- is exactly what
+semi-naive join evaluation does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..structures.structure import Fact, Structure
+from .ast import Atom, Constant, Literal, Program, Rule, Variable
+from .builtins import UNBOUND, BuiltinRegistry, standard_registry
+
+
+class UnsafeRuleError(ValueError):
+    """A rule whose body cannot bind all its variables."""
+
+
+class NotStratifiableError(ValueError):
+    """Negation through recursion."""
+
+
+# ----------------------------------------------------------------------
+# Fact storage
+# ----------------------------------------------------------------------
+
+
+class Database:
+    """Facts per predicate with lazily-built hash indexes."""
+
+    __slots__ = ("_facts", "_indexes")
+
+    def __init__(self) -> None:
+        self._facts: dict[str, set[tuple]] = {}
+        self._indexes: dict[tuple[str, tuple[int, ...]], dict[tuple, list[tuple]]] = {}
+
+    @classmethod
+    def from_facts(cls, facts: Iterable[Fact]) -> "Database":
+        db = cls()
+        for fact in facts:
+            db.add(fact.predicate, fact.args)
+        return db
+
+    @classmethod
+    def from_structure(cls, structure: Structure) -> "Database":
+        db = cls()
+        for name in structure.signature:
+            for tup in structure.relation(name):
+                db.add(name, tup)
+        return db
+
+    def add(self, predicate: str, args: tuple) -> bool:
+        """Insert; returns True iff the fact is new."""
+        rel = self._facts.setdefault(predicate, set())
+        if args in rel:
+            return False
+        rel.add(args)
+        for (pred, positions), index in self._indexes.items():
+            if pred == predicate:
+                key = tuple(args[i] for i in positions)
+                index.setdefault(key, []).append(args)
+        return True
+
+    def contains(self, predicate: str, args: tuple) -> bool:
+        return args in self._facts.get(predicate, ())
+
+    def relation(self, predicate: str) -> set[tuple]:
+        return self._facts.get(predicate, set())
+
+    def predicates(self) -> Iterator[str]:
+        return iter(self._facts)
+
+    def fact_count(self) -> int:
+        return sum(len(rel) for rel in self._facts.values())
+
+    def facts(self) -> Iterator[Fact]:
+        for predicate in sorted(self._facts):
+            for args in sorted(self._facts[predicate], key=repr):
+                yield Fact(predicate, args)
+
+    def match(self, predicate: str, pattern: Sequence) -> Iterator[tuple]:
+        """All facts of ``predicate`` matching the pattern.
+
+        ``pattern`` entries are concrete values or :data:`UNBOUND`.
+        """
+        rel = self._facts.get(predicate)
+        if not rel:
+            return iter(())
+        positions = tuple(
+            i for i, p in enumerate(pattern) if p is not UNBOUND
+        )
+        if not positions:
+            return iter(rel)
+        index_key = (predicate, positions)
+        index = self._indexes.get(index_key)
+        if index is None:
+            index = {}
+            for args in rel:
+                key = tuple(args[i] for i in positions)
+                index.setdefault(key, []).append(args)
+            self._indexes[index_key] = index
+        lookup = tuple(pattern[i] for i in positions)
+        return iter(index.get(lookup, ()))
+
+    def copy(self) -> "Database":
+        clone = Database()
+        clone._facts = {p: set(rel) for p, rel in self._facts.items()}
+        return clone
+
+
+# ----------------------------------------------------------------------
+# Stratification
+# ----------------------------------------------------------------------
+
+
+def stratify(program: Program) -> list[frozenset[str]]:
+    """Partition the IDB predicates into strata.
+
+    Raises :class:`NotStratifiableError` if some negation occurs inside
+    a recursive cycle.  Extensional and built-in predicates do not
+    participate.
+    """
+    idb = program.intensional_predicates()
+    pos_edges: dict[str, set[str]] = {p: set() for p in idb}
+    neg_edges: dict[str, set[str]] = {p: set() for p in idb}
+    for r in program.rules:
+        head = r.head.predicate
+        for literal in r.body:
+            p = literal.atom.predicate
+            if p in idb:
+                (pos_edges if literal.positive else neg_edges)[p].add(head)
+
+    # iterate stratum numbers to a fixpoint (programs are small)
+    stratum = {p: 0 for p in idb}
+    changed = True
+    rounds = 0
+    while changed:
+        changed = False
+        rounds += 1
+        if rounds > len(idb) + 1:
+            raise NotStratifiableError("negation through recursion")
+        for src in idb:
+            for dst in pos_edges[src]:
+                if stratum[dst] < stratum[src]:
+                    stratum[dst] = stratum[src]
+                    changed = True
+            for dst in neg_edges[src]:
+                if stratum[dst] < stratum[src] + 1:
+                    stratum[dst] = stratum[src] + 1
+                    changed = True
+    if not idb:
+        return []
+    levels = max(stratum.values()) + 1
+    return [
+        frozenset(p for p in idb if stratum[p] == level)
+        for level in range(levels)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Rule planning
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    literal: Literal
+    body_index: int
+    kind: str  # "relation" | "builtin" | "negation"
+
+
+def plan_rule(
+    rule: Rule, idb: frozenset[str], registry: BuiltinRegistry
+) -> tuple[PlanStep, ...]:
+    """Order the body so every step can run with earlier bindings.
+
+    Greedy: prefer positive relation atoms (most bound slots first),
+    then built-ins whose binding pattern is satisfied, then fully-bound
+    negations.  Raises :class:`UnsafeRuleError` when stuck, which also
+    catches the classic safety violations.
+    """
+    remaining: list[tuple[int, Literal]] = list(enumerate(rule.body))
+    bound: set[Variable] = set()
+    plan: list[PlanStep] = []
+
+    def atom_mask(a: Atom) -> tuple[bool, ...]:
+        return tuple(
+            isinstance(arg, Constant) or arg in bound for arg in a.args
+        )
+
+    while remaining:
+        chosen: tuple[int, Literal, str] | None = None
+        best_bound = -1
+        for index, literal in remaining:
+            a = literal.atom
+            is_builtin = a.predicate in registry and a.predicate not in idb
+            mask = atom_mask(a)
+            if literal.positive and not is_builtin:
+                score = sum(mask)
+                if score > best_bound:
+                    best_bound = score
+                    chosen = (index, literal, "relation")
+        if chosen is None:
+            for index, literal in remaining:
+                a = literal.atom
+                is_builtin = a.predicate in registry and a.predicate not in idb
+                mask = atom_mask(a)
+                if literal.positive and is_builtin and registry.get(
+                    a.predicate
+                ).can_evaluate(mask):
+                    chosen = (index, literal, "builtin")
+                    break
+        if chosen is None:
+            for index, literal in remaining:
+                if not literal.positive and all(atom_mask(literal.atom)):
+                    chosen = (index, literal, "negation")
+                    break
+        if chosen is None:
+            raise UnsafeRuleError(
+                f"cannot order body of rule: {rule} (bound so far: "
+                f"{sorted(v.name for v in bound)})"
+            )
+        index, literal, kind = chosen
+        remaining.remove((index, literal))
+        bound.update(literal.atom.variables())
+        plan.append(PlanStep(literal, index, kind))
+
+    unbound_head = set(rule.head.variables()) - bound
+    if unbound_head:
+        raise UnsafeRuleError(
+            f"head variables {sorted(v.name for v in unbound_head)} "
+            f"never bound in rule: {rule}"
+        )
+    return tuple(plan)
+
+
+# ----------------------------------------------------------------------
+# Join execution
+# ----------------------------------------------------------------------
+
+Binding = dict[Variable, object]
+
+
+def _extend_with_fact(
+    binding: Binding, atom: Atom, fact_args: tuple
+) -> Binding | None:
+    extended = binding
+    copied = False
+    for term, value in zip(atom.args, fact_args):
+        if isinstance(term, Constant):
+            if term.value != value:
+                return None
+        else:
+            known = extended.get(term, UNBOUND)
+            if known is UNBOUND:
+                if not copied:
+                    extended = dict(extended)
+                    copied = True
+                extended[term] = value
+            elif known != value:
+                return None
+    return extended
+
+
+def _slots(atom: Atom, binding: Binding) -> tuple:
+    return tuple(
+        term.value
+        if isinstance(term, Constant)
+        else binding.get(term, UNBOUND)
+        for term in atom.args
+    )
+
+
+@dataclass
+class EvaluationStats:
+    """Counters reported by the benchmark harness."""
+
+    rule_firings: int = 0
+    facts_derived: int = 0
+    iterations: int = 0
+
+
+class SemiNaiveEvaluator:
+    """Stratified semi-naive evaluation of a program over a database."""
+
+    def __init__(
+        self,
+        program: Program,
+        registry: BuiltinRegistry | None = None,
+    ):
+        self.program = program
+        self.registry = registry if registry is not None else standard_registry()
+        self.idb = program.intensional_predicates()
+        overlap = self.idb & self.registry.names()
+        if overlap:
+            raise ValueError(
+                f"predicates defined both by rules and built-ins: {sorted(overlap)}"
+            )
+        self.strata = stratify(program)
+        self._check_negation_stratified()
+        self._plans = {
+            id(rule): plan_rule(rule, self.idb, self.registry)
+            for rule in program.rules
+        }
+        self.stats = EvaluationStats()
+
+    def _check_negation_stratified(self) -> None:
+        level = {}
+        for i, stratum in enumerate(self.strata):
+            for p in stratum:
+                level[p] = i
+        for rule in self.program.rules:
+            head_level = level[rule.head.predicate]
+            for literal in rule.body:
+                p = literal.atom.predicate
+                if p in self.idb and not literal.positive:
+                    if level[p] >= head_level:
+                        raise NotStratifiableError(
+                            f"negated IDB atom {literal} not on a lower stratum"
+                        )
+
+    # -- rule evaluation ------------------------------------------------
+
+    def _solutions(
+        self,
+        plan: Sequence[PlanStep],
+        db: Database,
+        delta_index: int | None,
+        delta: Database | None,
+    ) -> Iterator[Binding]:
+        bindings: list[Binding] = [{}]
+        for step in plan:
+            atom = step.literal.atom
+            new_bindings: list[Binding] = []
+            if step.kind == "relation":
+                source = (
+                    delta
+                    if delta_index is not None and step.body_index == delta_index
+                    else db
+                )
+                for binding in bindings:
+                    pattern = _slots(atom, binding)
+                    for fact_args in source.match(atom.predicate, pattern):
+                        extended = _extend_with_fact(binding, atom, fact_args)
+                        if extended is not None:
+                            new_bindings.append(extended)
+            elif step.kind == "builtin":
+                builtin = self.registry.get(atom.predicate)
+                for binding in bindings:
+                    pattern = _slots(atom, binding)
+                    for solution in builtin.evaluate(pattern):
+                        extended = _extend_with_fact(binding, atom, solution)
+                        if extended is not None:
+                            new_bindings.append(extended)
+            else:  # negation
+                for binding in bindings:
+                    pattern = _slots(atom, binding)
+                    if any(p is UNBOUND for p in pattern):
+                        raise UnsafeRuleError(
+                            f"negated atom {atom} not fully bound"
+                        )
+                    if atom.predicate in self.registry and (
+                        atom.predicate not in self.idb
+                    ):
+                        held = any(self.registry.get(atom.predicate).evaluate(pattern))
+                    else:
+                        held = db.contains(atom.predicate, tuple(pattern))
+                    if not held:
+                        new_bindings.append(binding)
+            bindings = new_bindings
+            if not bindings:
+                return
+        yield from bindings
+
+    def _fire(
+        self,
+        rule: Rule,
+        db: Database,
+        out: list[Fact],
+        delta_index: int | None = None,
+        delta: Database | None = None,
+    ) -> None:
+        plan = self._plans[id(rule)]
+        for binding in self._solutions(plan, db, delta_index, delta):
+            self.stats.rule_firings += 1
+            head = rule.head.substitute(
+                {v: Constant(val) for v, val in binding.items()}
+            )
+            out.append(head.to_fact())
+
+    # -- fixpoint -------------------------------------------------------
+
+    def evaluate(self, edb: Database | Iterable[Fact] | Structure) -> Database:
+        """Least fixpoint of ``P ∪ A``; the returned database contains
+        both the extensional and the derived facts."""
+        if isinstance(edb, Structure):
+            db = Database.from_structure(edb)
+        elif isinstance(edb, Database):
+            db = edb.copy()
+        else:
+            db = Database.from_facts(edb)
+
+        for stratum in self.strata:
+            rules = [
+                r for r in self.program.rules if r.head.predicate in stratum
+            ]
+            recursive_indices: dict[int, list[int]] = {}
+            for rule_pos, rule in enumerate(rules):
+                positions = [
+                    i
+                    for i, literal in enumerate(rule.body)
+                    if literal.positive and literal.atom.predicate in stratum
+                ]
+                recursive_indices[rule_pos] = positions
+
+            # round 0: every rule once against the current database
+            delta = Database()
+            derived: list[Fact] = []
+            for rule in rules:
+                self._fire(rule, db, derived)
+            for fact in derived:
+                if db.add(fact.predicate, fact.args):
+                    delta.add(fact.predicate, fact.args)
+                    self.stats.facts_derived += 1
+
+            # subsequent rounds: delta-restricted re-evaluation
+            while delta.fact_count():
+                self.stats.iterations += 1
+                new_delta = Database()
+                derived = []
+                for rule_pos, rule in enumerate(rules):
+                    for body_index in recursive_indices[rule_pos]:
+                        self._fire(
+                            rule, db, derived, delta_index=body_index, delta=delta
+                        )
+                for fact in derived:
+                    if db.add(fact.predicate, fact.args):
+                        new_delta.add(fact.predicate, fact.args)
+                        self.stats.facts_derived += 1
+                delta = new_delta
+        return db
+
+
+def least_fixpoint(
+    program: Program,
+    edb: Database | Iterable[Fact] | Structure,
+    registry: BuiltinRegistry | None = None,
+) -> Database:
+    """Convenience wrapper: semi-naive least fixpoint."""
+    return SemiNaiveEvaluator(program, registry).evaluate(edb)
+
+
+def naive_least_fixpoint(
+    program: Program,
+    edb: Database | Iterable[Fact] | Structure,
+    registry: BuiltinRegistry | None = None,
+    stats: EvaluationStats | None = None,
+) -> Database:
+    """Naive (Jacobi-style) fixpoint: re-fire every rule each round.
+
+    Semantically identical to :func:`least_fixpoint`; exists as the
+    baseline of the engine ablation benchmark.
+    """
+    evaluator = SemiNaiveEvaluator(program, registry)
+    if stats is not None:
+        evaluator.stats = stats
+    if isinstance(edb, Structure):
+        db = Database.from_structure(edb)
+    elif isinstance(edb, Database):
+        db = edb.copy()
+    else:
+        db = Database.from_facts(edb)
+    for stratum in evaluator.strata:
+        rules = [r for r in program.rules if r.head.predicate in stratum]
+        changed = True
+        while changed:
+            changed = False
+            evaluator.stats.iterations += 1
+            derived: list[Fact] = []
+            for rule in rules:
+                evaluator._fire(rule, db, derived)
+            for fact in derived:
+                if db.add(fact.predicate, fact.args):
+                    evaluator.stats.facts_derived += 1
+                    changed = True
+    return db

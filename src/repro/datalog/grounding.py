@@ -1,0 +1,201 @@
+"""Guard-driven grounding (the first half of Theorem 4.4).
+
+For a quasi-guarded rule, instantiating the guard atom against the
+database determines every variable of the rule (directly or through the
+functional key constraints of ``A_td``), so the number of ground
+instances is O(|A|) per rule and O(|P| * |A|) overall.  The extensional
+part of each body -- positive atoms, negated atoms, built-ins -- is
+resolved during grounding; what remains is a propositional Horn program
+over the intensional atoms, which :func:`repro.datalog.horn.horn_least_model`
+solves in linear time.
+
+The same machinery, pointed at *every* candidate instantiation instead
+of only the ones supported by the database, yields the fully
+materialized ground program that Section 6's optimization (2) warns
+about; that variant lives in the benchmark modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from ..structures.structure import Fact, Structure
+from .ast import Atom, Constant, Literal, Program, Rule, Variable
+from .builtins import UNBOUND, BuiltinRegistry, standard_registry
+from .evaluate import Database, UnsafeRuleError, _extend_with_fact, _slots
+from .horn import GroundRule, horn_least_model
+
+
+class NotGroundableError(ValueError):
+    """The extensional body part cannot bind all rule variables."""
+
+
+@dataclass
+class GroundingStats:
+    ground_rules: int = 0
+    killed_by_extensional: int = 0
+
+
+def _plan_extensional(
+    rule: Rule,
+    idb: frozenset[str],
+    registry: BuiltinRegistry,
+) -> tuple[list[Literal], list[Literal]]:
+    """Order the non-IDB body so each step runs with earlier bindings.
+
+    Returns (ordered extensional steps, IDB literals).  Raises
+    :class:`NotGroundableError` if the extensional part cannot bind
+    every variable -- i.e. the rule is not groundable guard-first, which
+    for the programs of this paper coincides with not being
+    quasi-guarded.
+    """
+    idb_literals: list[Literal] = []
+    remaining: list[Literal] = []
+    for literal in rule.body:
+        name = literal.atom.predicate
+        if name in idb:
+            if not literal.positive:
+                raise NotGroundableError(
+                    f"negated intensional atom {literal} unsupported"
+                )
+            idb_literals.append(literal)
+        else:
+            remaining.append(literal)
+
+    bound: set[Variable] = set()
+    ordered: list[Literal] = []
+
+    def mask(atom: Atom) -> tuple[bool, ...]:
+        return tuple(
+            isinstance(a, Constant) or a in bound for a in atom.args
+        )
+
+    while remaining:
+        chosen = None
+        # prefer the relation atom with the most bound argument slots --
+        # an unbound pick mid-join degenerates into a full-relation scan
+        # and breaks the O(|P| * |A|) bound of Theorem 4.4.
+        best_bound = -1
+        for literal in remaining:
+            atom = literal.atom
+            if literal.positive and atom.predicate not in registry:
+                score = sum(mask(atom))
+                if score > best_bound:
+                    best_bound = score
+                    chosen = literal
+        if chosen is None:
+            for literal in remaining:
+                atom = literal.atom
+                if (
+                    literal.positive
+                    and atom.predicate in registry
+                    and registry.get(atom.predicate).can_evaluate(mask(atom))
+                ):
+                    chosen = literal
+                    break
+        if chosen is None:
+            for literal in remaining:
+                if not literal.positive and all(mask(literal.atom)):
+                    chosen = literal
+                    break
+        if chosen is None:
+            raise NotGroundableError(f"cannot order extensional body of: {rule}")
+        remaining.remove(chosen)
+        bound.update(chosen.atom.variables())
+        ordered.append(chosen)
+
+    needed = rule.variables()
+    if not needed <= bound:
+        missing = sorted(v.name for v in needed - bound)
+        raise NotGroundableError(
+            f"variables {missing} not bound by the extensional body of: {rule}"
+        )
+    return ordered, idb_literals
+
+
+def ground_program(
+    program: Program,
+    db: Database | Structure,
+    registry: BuiltinRegistry | None = None,
+    stats: GroundingStats | None = None,
+) -> list[GroundRule]:
+    """All supported ground instances, as propositional Horn rules.
+
+    Propositional atoms are :class:`repro.structures.structure.Fact`
+    values of the intensional predicates.
+    """
+    if isinstance(db, Structure):
+        db = Database.from_structure(db)
+    registry = registry if registry is not None else standard_registry()
+    stats = stats if stats is not None else GroundingStats()
+    idb = program.intensional_predicates()
+    ground_rules: list[GroundRule] = []
+
+    for rule in program.rules:
+        ordered, idb_literals = _plan_extensional(rule, idb, registry)
+        bindings: list[dict] = [{}]
+        for literal in ordered:
+            atom = literal.atom
+            new_bindings: list[dict] = []
+            if literal.positive and atom.predicate not in registry:
+                for binding in bindings:
+                    pattern = _slots(atom, binding)
+                    for fact_args in db.match(atom.predicate, pattern):
+                        extended = _extend_with_fact(binding, atom, fact_args)
+                        if extended is not None:
+                            new_bindings.append(extended)
+            elif literal.positive:
+                builtin = registry.get(atom.predicate)
+                for binding in bindings:
+                    pattern = _slots(atom, binding)
+                    for solution in builtin.evaluate(pattern):
+                        extended = _extend_with_fact(binding, atom, solution)
+                        if extended is not None:
+                            new_bindings.append(extended)
+            else:
+                for binding in bindings:
+                    pattern = _slots(atom, binding)
+                    if any(s is UNBOUND for s in pattern):
+                        raise NotGroundableError(
+                            f"negated atom {atom} not bound during grounding"
+                        )
+                    if atom.predicate in registry:
+                        held = any(
+                            registry.get(atom.predicate).evaluate(tuple(pattern))
+                        )
+                    else:
+                        held = db.contains(atom.predicate, tuple(pattern))
+                    if held:
+                        stats.killed_by_extensional += 1
+                    else:
+                        new_bindings.append(binding)
+            bindings = new_bindings
+            if not bindings:
+                break
+
+        for binding in bindings:
+            substitution = {v: Constant(val) for v, val in binding.items()}
+            head = rule.head.substitute(substitution).to_fact()
+            body = tuple(
+                lit.atom.substitute(substitution).to_fact()
+                for lit in idb_literals
+            )
+            ground_rules.append(GroundRule(head, body))
+            stats.ground_rules += 1
+    return ground_rules
+
+
+def evaluate_via_grounding(
+    program: Program,
+    db: Database | Structure,
+    registry: BuiltinRegistry | None = None,
+    stats: GroundingStats | None = None,
+) -> set[Fact]:
+    """The Theorem 4.4 pipeline: ground, then linear-time Horn solving.
+
+    Returns the derived intensional facts (the extensional database is
+    unchanged and not repeated in the result).
+    """
+    rules = ground_program(program, db, registry, stats)
+    return set(horn_least_model(rules))

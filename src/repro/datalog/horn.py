@@ -1,0 +1,72 @@
+"""Linear-time least model of propositional Horn programs.
+
+"Propositional datalog (i.e., all rules are ground) can be evaluated in
+linear time" (Section 2.4, citing Dowling & Gallier [7] and Minoux's
+LTUR [27]).  This is the back half of the Theorem 4.4 pipeline: after
+guard-driven grounding, the remaining ground program is solved here.
+
+The algorithm is the classic forward chaining with per-rule counters of
+unsatisfied body atoms: each rule is touched once per body atom, so the
+total work is linear in the program size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+PropAtom = Hashable
+
+
+@dataclass(frozen=True)
+class GroundRule:
+    """``head <- body`` over opaque propositional atoms."""
+
+    head: PropAtom
+    body: tuple[PropAtom, ...] = ()
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        return f"{self.head} :- {', '.join(map(str, self.body))}."
+
+
+def horn_least_model(rules: Iterable[GroundRule]) -> set[PropAtom]:
+    """The least model of a set of ground Horn rules.
+
+    Dowling-Gallier / LTUR: O(total size of the rules).
+    """
+    rules = list(rules)
+    waiting: dict[PropAtom, list[int]] = {}
+    counters: list[int] = []
+    derived: set[PropAtom] = set()
+    queue: list[PropAtom] = []
+
+    for index, rule in enumerate(rules):
+        missing = 0
+        seen_in_body: set[PropAtom] = set()
+        for atom in rule.body:
+            if atom in seen_in_body:
+                continue
+            seen_in_body.add(atom)
+            missing += 1
+            waiting.setdefault(atom, []).append(index)
+        counters.append(missing)
+        if missing == 0 and rule.head not in derived:
+            derived.add(rule.head)
+            queue.append(rule.head)
+
+    while queue:
+        atom = queue.pop()
+        for index in waiting.get(atom, ()):
+            counters[index] -= 1
+            if counters[index] == 0:
+                head = rules[index].head
+                if head not in derived:
+                    derived.add(head)
+                    queue.append(head)
+    return derived
+
+
+def horn_entails(rules: Iterable[GroundRule], goal: PropAtom) -> bool:
+    return goal in horn_least_model(rules)

@@ -1,0 +1,182 @@
+"""A small textual syntax for datalog programs.
+
+Grammar (classic Prolog-ish):
+
+    program  := (rule | fact)*
+    rule     := atom ":-" literal ("," literal)* "."
+    fact     := atom "."
+    literal  := ["not"] atom | term op term
+    atom     := ident "(" term ("," term)* ")" | ident
+    term     := variable | ident | number | quoted string
+    op       := "=" | "!=" | "<" | "<="
+
+Identifiers starting with an upper-case letter or ``_`` are variables;
+everything else is a constant.  ``%`` starts a line comment.  The infix
+operators desugar to the ``eq/neq/lt/le`` built-ins.
+
+The Section 5 programs are constructed programmatically (their constants
+are frozensets), but the parser makes the engine pleasant to use
+standalone and is exercised heavily in tests.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from .ast import Atom, Constant, Literal, Program, Rule, Term, Variable
+
+_TOKEN = re.compile(
+    r"""
+    (?P<ws>\s+|%[^\n]*)
+  | (?P<arrow>:-)
+  | (?P<op><=|!=|=|<)
+  | (?P<punct>[(),.])
+  | (?P<number>-?\d+)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_']*)
+    """,
+    re.VERBOSE,
+)
+
+_OP_NAMES = {"=": "eq", "!=": "neq", "<": "lt", "<=": "le"}
+
+
+class ParseError(ValueError):
+    pass
+
+
+def _tokenize(text: str) -> Iterator[tuple[str, str]]:
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if not match:
+            raise ParseError(f"unexpected character {text[pos]!r} at {pos}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        yield kind, match.group()
+    yield "eof", ""
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = list(_tokenize(text))
+        self.pos = 0
+
+    def peek(self) -> tuple[str, str]:
+        return self.tokens[self.pos]
+
+    def take(self, kind: str | None = None, value: str | None = None) -> str:
+        k, v = self.tokens[self.pos]
+        if kind is not None and k != kind:
+            raise ParseError(f"expected {kind}, found {k} {v!r}")
+        if value is not None and v != value:
+            raise ParseError(f"expected {value!r}, found {v!r}")
+        self.pos += 1
+        return v
+
+    def at(self, kind: str, value: str | None = None) -> bool:
+        k, v = self.tokens[self.pos]
+        return k == kind and (value is None or v == value)
+
+    # -- grammar --------------------------------------------------------
+
+    def program(self) -> list[Rule]:
+        rules = []
+        while not self.at("eof"):
+            rules.append(self.rule())
+        return rules
+
+    def rule(self) -> Rule:
+        head = self.atom()
+        body: list[Literal] = []
+        if self.at("arrow"):
+            self.take("arrow")
+            body.append(self.literal())
+            while self.at("punct", ","):
+                self.take("punct", ",")
+                body.append(self.literal())
+        self.take("punct", ".")
+        return Rule(head, tuple(body))
+
+    def literal(self) -> Literal:
+        if self.at("ident", "not"):
+            self.take("ident", "not")
+            return Literal(self.atom_or_comparison(), False)
+        return Literal(self.atom_or_comparison(), True)
+
+    def atom_or_comparison(self) -> Atom:
+        # could be  term op term  or a regular atom
+        start = self.pos
+        kind, _ = self.peek()
+        if kind in ("number", "string"):
+            left = self.term()
+            op = self.take("op")
+            right = self.term()
+            return Atom(_OP_NAMES[op], (left, right))
+        atom = self.atom()
+        if self.at("op"):
+            # it was actually a bare term followed by an operator
+            if atom.args:
+                raise ParseError("comparison operand cannot have arguments")
+            self.pos = start
+            left = self.term()
+            op = self.take("op")
+            right = self.term()
+            return Atom(_OP_NAMES[op], (left, right))
+        return atom
+
+    def atom(self) -> Atom:
+        name = self.take("ident")
+        args: list[Term] = []
+        if self.at("punct", "("):
+            self.take("punct", "(")
+            args.append(self.term())
+            while self.at("punct", ","):
+                self.take("punct", ",")
+                args.append(self.term())
+            self.take("punct", ")")
+        return Atom(name, tuple(args))
+
+    def term(self) -> Term:
+        kind, value = self.peek()
+        if kind == "ident":
+            self.take()
+            if value[0].isupper() or value[0] == "_":
+                return Variable(value)
+            return Constant(value)
+        if kind == "number":
+            self.take()
+            return Constant(int(value))
+        if kind == "string":
+            self.take()
+            return Constant(value[1:-1].replace('\\"', '"').replace("\\\\", "\\"))
+        raise ParseError(f"expected a term, found {kind} {value!r}")
+
+
+def parse_program(text: str, builtin_names: tuple[str, ...] = ()) -> Program:
+    """Parse a program; comparison operators register their built-ins."""
+    rules = _Parser(text).program()
+    used_ops = {
+        literal.atom.predicate
+        for rule in rules
+        for literal in rule.body
+        if literal.atom.predicate in _OP_NAMES.values()
+    }
+    return Program(rules, builtin_names=tuple(set(builtin_names) | used_ops))
+
+
+def parse_rule(text: str) -> Rule:
+    rules = _Parser(text).program()
+    if len(rules) != 1:
+        raise ParseError(f"expected exactly one rule, found {len(rules)}")
+    return rules[0]
+
+
+def parse_atom(text: str) -> Atom:
+    parser = _Parser(text)
+    atom = parser.atom()
+    parser.take("eof")
+    return atom

@@ -1,0 +1,19 @@
+"""Finite tree automata: the MSO-to-FTA baseline route."""
+
+from .automaton import LabeledTree, TreeAutomaton
+from .mso_to_fta import (
+    FTAConstructionBudgetExceeded,
+    TypeAutomatonBuilder,
+    build_type_automaton,
+)
+from .tree_encoding import bag_pattern, decomposition_to_tree
+
+__all__ = [
+    "FTAConstructionBudgetExceeded",
+    "LabeledTree",
+    "TreeAutomaton",
+    "TypeAutomatonBuilder",
+    "bag_pattern",
+    "build_type_automaton",
+    "decomposition_to_tree",
+]

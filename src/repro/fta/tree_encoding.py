@@ -1,0 +1,74 @@
+"""Encoding normalized tree decompositions as labeled binary trees.
+
+The MSO-to-FTA route first turns the structure-plus-decomposition into a
+colored binary tree (Section 1: "translate the MSO evaluation problem
+over finite structures into an equivalent MSO evaluation problem over
+colored binary trees").  The labels below carry exactly the information
+the type transitions of Lemma 3.5 need:
+
+* ``("leaf", pattern)`` -- which R(ā) atoms hold on the leaf bag, as
+  position patterns;
+* ``("perm", pi)`` -- a permutation node; ``parent_bag[i] ==
+  child_bag[pi[i]]``;
+* ``("repl", pattern)`` -- an element-replacement node, annotated with
+  the atom pattern of the *parent* bag;
+* ``("branch",)`` -- a branch node.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..structures.structure import Structure
+from ..treewidth.decomposition import NodeId
+from ..treewidth.normalize import (
+    NormalizedNodeKind,
+    NormalizedTreeDecomposition,
+)
+from .automaton import LabeledTree
+
+Pattern = frozenset[tuple[str, tuple[int, ...]]]
+
+
+def bag_pattern(
+    structure: Structure, bag: tuple[Hashable, ...]
+) -> Pattern:
+    """The R(ā) atoms of the bag, abstracted to index patterns."""
+    from itertools import product
+
+    present = set()
+    for name in structure.signature:
+        arity = structure.signature.arity(name)
+        for indices in product(range(len(bag)), repeat=arity):
+            if structure.holds(name, *(bag[i] for i in indices)):
+                present.add((name, indices))
+    return frozenset(present)
+
+
+def decomposition_to_tree(
+    structure: Structure, ntd: NormalizedTreeDecomposition
+) -> LabeledTree:
+    """The labeled binary tree for a Definition 2.3 decomposition."""
+
+    def encode(node: NodeId) -> LabeledTree:
+        kind = ntd.node_kind(node)
+        children = ntd.tree.children(node)
+        bag = ntd.bag(node)
+        if kind is NormalizedNodeKind.LEAF:
+            return LabeledTree(("leaf", bag_pattern(structure, bag)))
+        if kind is NormalizedNodeKind.BRANCH:
+            return LabeledTree(
+                ("branch",), tuple(encode(c) for c in children)
+            )
+        (child,) = children
+        child_bag = ntd.bag(child)
+        if kind is NormalizedNodeKind.PERMUTATION:
+            position = {x: i for i, x in enumerate(child_bag)}
+            pi = tuple(position[x] for x in bag)
+            return LabeledTree(("perm", pi), (encode(child),))
+        # element replacement: annotate with the parent-bag pattern
+        return LabeledTree(
+            ("repl", bag_pattern(structure, bag)), (encode(child),)
+        )
+
+    return encode(ntd.tree.root)

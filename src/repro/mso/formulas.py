@@ -1,0 +1,196 @@
+"""The paper's MSO formulae, executably.
+
+* :func:`three_colorability` -- the sentence of Section 5.1 over
+  {e}-structures;
+* :func:`primality` -- the unary query φ(x) of Example 2.6 over
+  {fd, att, lh, rh}-structures;
+* a handful of small quantifier-depth-1 queries used to exercise the
+  generic Theorem 4.5 compiler end-to-end (the compiler is exponential
+  in the depth, exactly as the paper says, so its tests stay at k = 1).
+"""
+
+from __future__ import annotations
+
+from .syntax import (
+    And,
+    Eq,
+    ExistsInd,
+    ExistsSet,
+    ForallInd,
+    Formula,
+    Implies,
+    In,
+    Not,
+    Or,
+    RelAtom,
+    and_all,
+    not_in,
+    or_all,
+)
+
+
+def partition_three(r: str, g: str, b: str) -> Formula:
+    """``Partition(R, G, B)`` from Section 5.1: every vertex is in exactly
+    one of the three sets."""
+    v = "v"
+    return ForallInd(
+        v,
+        and_all(
+            [
+                or_all([In(v, r), In(v, g), In(v, b)]),
+                Or(Not(In(v, r)), Not(In(v, g))),
+                Or(Not(In(v, r)), Not(In(v, b))),
+                Or(Not(In(v, g)), Not(In(v, b))),
+            ]
+        ),
+    )
+
+
+def three_colorability() -> Formula:
+    """The MSO sentence for 3-Colorability (Section 5.1).
+
+    ∃R∃G∃B [Partition(R,G,B) ∧ ∀v1∀v2 (e(v1,v2) →
+        (¬R(v1) ∨ ¬R(v2)) ∧ (¬G(v1) ∨ ¬G(v2)) ∧ (¬B(v1) ∨ ¬B(v2)))]
+    """
+    v1, v2 = "v1", "v2"
+    no_monochromatic_edge = ForallInd(
+        v1,
+        ForallInd(
+            v2,
+            Implies(
+                RelAtom("e", (v1, v2)),
+                and_all(
+                    [
+                        Or(Not(In(v1, "R")), Not(In(v2, "R"))),
+                        Or(Not(In(v1, "G")), Not(In(v2, "G"))),
+                        Or(Not(In(v1, "B")), Not(In(v2, "B"))),
+                    ]
+                ),
+            ),
+        ),
+    )
+    return ExistsSet(
+        "R",
+        ExistsSet(
+            "G",
+            ExistsSet("B", And(partition_three("R", "G", "B"), no_monochromatic_edge)),
+        ),
+    )
+
+
+def closed(y: str) -> Formula:
+    """``Closed(Y)`` from Example 2.6.
+
+    ∀f [fd(f) → ∃b ((rh(b,f) ∧ b ∈ Y) ∨ (lh(b,f) ∧ b ∉ Y))]
+
+    i.e. no FD witnesses non-closedness: either its right-hand side is
+    already in Y, or some left-hand attribute is outside Y.
+    """
+    f, b = "f", "b"
+    return ForallInd(
+        f,
+        Implies(
+            RelAtom("fd", (f,)),
+            ExistsInd(
+                b,
+                Or(
+                    And(RelAtom("rh", (b, f)), In(b, y)),
+                    And(RelAtom("lh", (b, f)), not_in(b, y)),
+                ),
+            ),
+        ),
+    )
+
+
+def _all_attributes_subset(z: str) -> Formula:
+    """``Z ⊆ R``: every member of Z is an attribute."""
+    u = "u"
+    return ForallInd(u, Implies(In(u, z), RelAtom("att", (u,))))
+
+
+def _contains_y_and_x(z: str, y: str, x: str) -> Formula:
+    """``Y ∪ {x} ⊆ Z``."""
+    u = "u"
+    return ForallInd(
+        u, Implies(Or(In(u, y), Eq(u, x)), In(u, z))
+    )
+
+
+def _misses_some_attribute(z: str) -> Formula:
+    """``Z ⊂ R``: some attribute is not in Z."""
+    u = "u"
+    return ExistsInd(u, And(RelAtom("att", (u,)), not_in(u, z)))
+
+
+def primality(x: str = "x") -> Formula:
+    """The unary primality query φ(x) of Example 2.6.
+
+    φ(x) = ∃Y [ Y ⊆ R ∧ Closed(Y) ∧ x ∉ Y ∧ Closure(Y ∪ {x}, R) ]
+
+    where Closure(Y∪{x}, R) unfolds to: no *closed* attribute set Z'
+    sits properly between Y ∪ {x} and R.  (Closed(R) holds vacuously --
+    the closure of a set of attributes is again a set of attributes --
+    so the middle conjunct of the paper's Closure macro is dropped when
+    Z = R.)  A guard ``att(x)`` keeps the query meaningful on the FD
+    elements of the mixed domain.
+    """
+    y, z = "Y", "Zp"
+    no_intermediate_closed_set = Not(
+        ExistsSet(
+            z,
+            and_all(
+                [
+                    _contains_y_and_x(z, y, x),
+                    _all_attributes_subset(z),
+                    _misses_some_attribute(z),
+                    closed(z),
+                ]
+            ),
+        )
+    )
+    return And(
+        RelAtom("att", (x,)),
+        ExistsSet(
+            y,
+            and_all(
+                [
+                    _all_attributes_subset(y),
+                    closed(y),
+                    not_in(x, y),
+                    no_intermediate_closed_set,
+                ]
+            ),
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Small depth-1 queries for the generic compiler's end-to-end tests
+# ----------------------------------------------------------------------
+
+
+def has_neighbor(x: str = "x") -> Formula:
+    """``∃y e(x, y)`` -- depth 1, over graphs."""
+    return ExistsInd("y", RelAtom("e", (x, "y")))
+
+
+def isolated(x: str = "x") -> Formula:
+    """``¬∃y (e(x, y) ∨ e(y, x))`` -- depth 1, over graphs."""
+    return Not(
+        ExistsInd("y", Or(RelAtom("e", (x, "y")), RelAtom("e", ("y", x))))
+    )
+
+
+def has_self_loop(x: str = "x") -> Formula:
+    """``e(x, x)`` -- depth 0, over graphs."""
+    return RelAtom("e", (x, x))
+
+
+def some_edge() -> Formula:
+    """``∃x∃y e(x, y)`` -- a depth-2 *sentence* over graphs."""
+    return ExistsInd("x", ExistsInd("y", RelAtom("e", ("x", "y"))))
+
+
+def in_some_left_hand_side(x: str = "x") -> Formula:
+    """``∃f lh(x, f)`` -- depth 1, over schema structures."""
+    return ExistsInd("f", RelAtom("lh", (x, "f")))

@@ -1,0 +1,244 @@
+"""A textual syntax for MSO formulae.
+
+Grammar (ASCII-friendly; precedence from weakest to strongest):
+
+    formula  := quantified
+    quantified := ("EX" | "ALL") var "." quantified      (individual)
+                | ("EXS" | "ALLS") Var "." quantified    (set)
+                | iff
+    iff      := implies ("<->" implies)*
+    implies  := or ("->" or)*          (right associative)
+    or       := and ("|" and)*
+    and      := unary ("&" unary)*
+    unary    := "~" unary | atom
+    atom     := pred "(" term ("," term)* ")"
+              | term "=" term | term "!=" term
+              | term "in" SetVar | term "notin" SetVar
+              | SetVar "<=" SetVar                       (subset, sugar)
+              | SetVar "<" SetVar                        (proper subset)
+              | "(" formula ")"
+
+Individual variables are lower-case identifiers, set variables start
+with an upper-case letter (the paper's convention), and quoted strings
+denote constants.  The subset operators desugar exactly like
+:func:`repro.mso.syntax.subset_eq` / :func:`proper_subset`, so quantifier
+depth is accounted for uniformly.
+
+Example -- the Closed(Y) macro of Example 2.6:
+
+    ALL f. fd(f) -> EX b. (rh(b, f) & b in Y) | (lh(b, f) & b notin Y)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from .syntax import (
+    And,
+    Const,
+    Eq,
+    ExistsInd,
+    ExistsSet,
+    ForallInd,
+    ForallSet,
+    Formula,
+    Iff,
+    Implies,
+    In,
+    IndividualTerm,
+    Not,
+    Or,
+    RelAtom,
+    proper_subset,
+    subset_eq,
+)
+
+
+class MSOParseError(ValueError):
+    pass
+
+
+_TOKEN = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<op><->|->|!=|<=|[&|~=<.,()])
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_']*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"EX", "ALL", "EXS", "ALLS", "in", "notin"}
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if not match:
+            raise MSOParseError(f"unexpected character {text[pos]!r} at {pos}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        value = match.group()
+        if kind == "ident" and value in _KEYWORDS:
+            tokens.append(("kw", value))
+        else:
+            tokens.append((kind, value))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+def _is_set_var(name: str) -> bool:
+    return name[0].isupper()
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    def peek(self) -> tuple[str, str]:
+        return self.tokens[self.pos]
+
+    def at(self, kind: str, value: str | None = None) -> bool:
+        k, v = self.tokens[self.pos]
+        return k == kind and (value is None or v == value)
+
+    def take(self, kind: str | None = None, value: str | None = None) -> str:
+        k, v = self.tokens[self.pos]
+        if (kind is not None and k != kind) or (
+            value is not None and v != value
+        ):
+            raise MSOParseError(f"expected {value or kind}, found {v!r}")
+        self.pos += 1
+        return v
+
+    # -- grammar --------------------------------------------------------
+
+    def formula(self) -> Formula:
+        return self.quantified()
+
+    def quantified(self) -> Formula:
+        if self.at("kw", "EX") or self.at("kw", "ALL") or self.at(
+            "kw", "EXS"
+        ) or self.at("kw", "ALLS"):
+            kw = self.take("kw")
+            var = self.take("ident")
+            self.take("op", ".")
+            body = self.quantified()
+            if kw == "EX":
+                return ExistsInd(var, body)
+            if kw == "ALL":
+                return ForallInd(var, body)
+            if not _is_set_var(var):
+                raise MSOParseError(
+                    f"set variable {var!r} must start upper-case"
+                )
+            return ExistsSet(var, body) if kw == "EXS" else ForallSet(var, body)
+        return self.iff()
+
+    def iff(self) -> Formula:
+        left = self.implies()
+        while self.at("op", "<->"):
+            self.take("op", "<->")
+            left = Iff(left, self.implies())
+        return left
+
+    def implies(self) -> Formula:
+        left = self.or_()
+        if self.at("op", "->"):
+            self.take("op", "->")
+            return Implies(left, self.implies())  # right associative
+        return left
+
+    def or_(self) -> Formula:
+        left = self.and_()
+        while self.at("op", "|"):
+            self.take("op", "|")
+            left = Or(left, self.and_())
+        return left
+
+    def and_(self) -> Formula:
+        left = self.unary()
+        while self.at("op", "&"):
+            self.take("op", "&")
+            left = And(left, self.unary())
+        return left
+
+    def _at_quantifier(self) -> bool:
+        return any(self.at("kw", kw) for kw in ("EX", "ALL", "EXS", "ALLS"))
+
+    def unary(self) -> Formula:
+        if self.at("op", "~"):
+            self.take("op", "~")
+            return Not(self.unary())
+        if self._at_quantifier():
+            # a quantifier after a connective scopes maximally rightward:
+            # "p(x) -> EX y. q(y) & r(y)" binds y over "q(y) & r(y)".
+            return self.quantified()
+        return self.atom()
+
+    def term(self) -> IndividualTerm:
+        if self.at("string"):
+            raw = self.take("string")
+            return Const(raw[1:-1].replace('\\"', '"').replace("\\\\", "\\"))
+        return self.take("ident")
+
+    def atom(self) -> Formula:
+        if self.at("op", "("):
+            self.take("op", "(")
+            inner = self.formula()
+            self.take("op", ")")
+            return inner
+        left = self.term()
+        if self.at("op", "("):
+            if not isinstance(left, str):
+                raise MSOParseError("predicate name cannot be a constant")
+            self.take("op", "(")
+            args = [self.term()]
+            while self.at("op", ","):
+                self.take("op", ",")
+                args.append(self.term())
+            self.take("op", ")")
+            return RelAtom(left, tuple(args))
+        if self.at("op", "="):
+            self.take("op", "=")
+            return Eq(left, self.term())
+        if self.at("op", "!="):
+            self.take("op", "!=")
+            return Not(Eq(left, self.term()))
+        if self.at("kw", "in"):
+            self.take("kw", "in")
+            set_var = self.take("ident")
+            if not _is_set_var(set_var):
+                raise MSOParseError(f"{set_var!r} is not a set variable")
+            return In(left, set_var)
+        if self.at("kw", "notin"):
+            self.take("kw", "notin")
+            set_var = self.take("ident")
+            if not _is_set_var(set_var):
+                raise MSOParseError(f"{set_var!r} is not a set variable")
+            return Not(In(left, set_var))
+        if self.at("op", "<=") or self.at("op", "<"):
+            if not (isinstance(left, str) and _is_set_var(left)):
+                raise MSOParseError("subset operands must be set variables")
+            op = self.take("op")
+            right = self.take("ident")
+            if not _is_set_var(right):
+                raise MSOParseError(f"{right!r} is not a set variable")
+            return subset_eq(left, right) if op == "<=" else proper_subset(
+                left, right
+            )
+        raise MSOParseError(f"dangling term {left!r}")
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse an MSO formula from the ASCII syntax above."""
+    parser = _Parser(text)
+    result = parser.formula()
+    parser.take("eof")
+    return result

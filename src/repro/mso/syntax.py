@@ -1,0 +1,315 @@
+"""Monadic second-order logic: abstract syntax (Section 2.3).
+
+MSO extends first-order logic with *set variables* ranging over sets of
+domain elements.  Individual variables are lower-case strings, set
+variables upper-case strings (the paper's convention); the constructors
+do not enforce the case but evaluation treats the two namespaces
+separately.
+
+Atomic formulae: relation atoms over individual terms, equality atoms,
+and membership atoms ``x ∈ X``.  The set operators ``⊆``/``⊂`` that the
+paper uses "with the obvious meaning" are provided as *sugar* that
+desugars into quantified formulae (:func:`subset_eq`,
+:func:`proper_subset`), so the quantifier depth -- the parameter ``k``
+of the type machinery -- accounts for them uniformly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+# Individual terms: either a variable name (str) or a constant wrapper.
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant individual term (a distinguished domain element)."""
+
+    value: Hashable
+
+    def __str__(self) -> str:
+        return f"«{self.value}»"
+
+
+IndividualTerm = str | Const
+
+
+class Formula:
+    """Base class; subclasses are frozen dataclasses."""
+
+    def quantifier_depth(self) -> int:
+        raise NotImplementedError
+
+    def free_individual_vars(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def free_set_vars(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    # -- operator sugar ------------------------------------------------
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def implies(self, other: "Formula") -> "Formula":
+        return Implies(self, other)
+
+
+def _term_vars(terms: tuple[IndividualTerm, ...]) -> frozenset[str]:
+    return frozenset(t for t in terms if isinstance(t, str))
+
+
+def _term_str(t: IndividualTerm) -> str:
+    return t if isinstance(t, str) else str(t)
+
+
+@dataclass(frozen=True)
+class RelAtom(Formula):
+    """``R(t1, ..., tn)`` over individual terms."""
+
+    predicate: str
+    args: tuple[IndividualTerm, ...]
+
+    def quantifier_depth(self) -> int:
+        return 0
+
+    def free_individual_vars(self) -> frozenset[str]:
+        return _term_vars(self.args)
+
+    def free_set_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return f"{self.predicate}({', '.join(map(_term_str, self.args))})"
+
+
+@dataclass(frozen=True)
+class Eq(Formula):
+    left: IndividualTerm
+    right: IndividualTerm
+
+    def quantifier_depth(self) -> int:
+        return 0
+
+    def free_individual_vars(self) -> frozenset[str]:
+        return _term_vars((self.left, self.right))
+
+    def free_set_vars(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return f"{_term_str(self.left)} = {_term_str(self.right)}"
+
+
+@dataclass(frozen=True)
+class In(Formula):
+    """``t ∈ X`` -- membership of an individual term in a set variable."""
+
+    term: IndividualTerm
+    set_var: str
+
+    def quantifier_depth(self) -> int:
+        return 0
+
+    def free_individual_vars(self) -> frozenset[str]:
+        return _term_vars((self.term,))
+
+    def free_set_vars(self) -> frozenset[str]:
+        return frozenset({self.set_var})
+
+    def __str__(self) -> str:
+        return f"{_term_str(self.term)} ∈ {self.set_var}"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    body: Formula
+
+    def quantifier_depth(self) -> int:
+        return self.body.quantifier_depth()
+
+    def free_individual_vars(self) -> frozenset[str]:
+        return self.body.free_individual_vars()
+
+    def free_set_vars(self) -> frozenset[str]:
+        return self.body.free_set_vars()
+
+    def __str__(self) -> str:
+        return f"¬({self.body})"
+
+
+class _BinaryConnective(Formula):
+    left: Formula
+    right: Formula
+    symbol = "?"
+
+    def quantifier_depth(self) -> int:
+        return max(self.left.quantifier_depth(), self.right.quantifier_depth())
+
+    def free_individual_vars(self) -> frozenset[str]:
+        return self.left.free_individual_vars() | self.right.free_individual_vars()
+
+    def free_set_vars(self) -> frozenset[str]:
+        return self.left.free_set_vars() | self.right.free_set_vars()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.symbol} {self.right})"
+
+
+@dataclass(frozen=True)
+class And(_BinaryConnective):
+    left: Formula
+    right: Formula
+    symbol = "∧"
+
+
+@dataclass(frozen=True)
+class Or(_BinaryConnective):
+    left: Formula
+    right: Formula
+    symbol = "∨"
+
+
+@dataclass(frozen=True)
+class Implies(_BinaryConnective):
+    left: Formula
+    right: Formula
+    symbol = "→"
+
+
+@dataclass(frozen=True)
+class Iff(_BinaryConnective):
+    left: Formula
+    right: Formula
+    symbol = "↔"
+
+
+class _Quantifier(Formula):
+    var: str
+    body: Formula
+    symbol = "?"
+
+    def quantifier_depth(self) -> int:
+        return 1 + self.body.quantifier_depth()
+
+    def __str__(self) -> str:
+        return f"{self.symbol}{self.var}.({self.body})"
+
+
+@dataclass(frozen=True)
+class ExistsInd(_Quantifier):
+    """First-order existential quantifier (point variable)."""
+
+    var: str
+    body: Formula
+    symbol = "∃"
+
+    def free_individual_vars(self) -> frozenset[str]:
+        return self.body.free_individual_vars() - {self.var}
+
+    def free_set_vars(self) -> frozenset[str]:
+        return self.body.free_set_vars()
+
+
+@dataclass(frozen=True)
+class ForallInd(_Quantifier):
+    var: str
+    body: Formula
+    symbol = "∀"
+
+    def free_individual_vars(self) -> frozenset[str]:
+        return self.body.free_individual_vars() - {self.var}
+
+    def free_set_vars(self) -> frozenset[str]:
+        return self.body.free_set_vars()
+
+
+@dataclass(frozen=True)
+class ExistsSet(_Quantifier):
+    """Second-order existential quantifier (monadic set variable)."""
+
+    var: str
+    body: Formula
+    symbol = "∃²"
+
+    def free_individual_vars(self) -> frozenset[str]:
+        return self.body.free_individual_vars()
+
+    def free_set_vars(self) -> frozenset[str]:
+        return self.body.free_set_vars() - {self.var}
+
+
+@dataclass(frozen=True)
+class ForallSet(_Quantifier):
+    var: str
+    body: Formula
+    symbol = "∀²"
+
+    def free_individual_vars(self) -> frozenset[str]:
+        return self.body.free_individual_vars()
+
+    def free_set_vars(self) -> frozenset[str]:
+        return self.body.free_set_vars() - {self.var}
+
+
+# ----------------------------------------------------------------------
+# Helper constructors and sugar
+# ----------------------------------------------------------------------
+
+_fresh_counter = itertools.count()
+
+
+def fresh_individual_var(hint: str = "u") -> str:
+    return f"{hint}_{next(_fresh_counter)}"
+
+
+def and_all(formulas: list[Formula]) -> Formula:
+    if not formulas:
+        return TRUE
+    result = formulas[0]
+    for f in formulas[1:]:
+        result = And(result, f)
+    return result
+
+
+def or_all(formulas: list[Formula]) -> Formula:
+    if not formulas:
+        return FALSE
+    result = formulas[0]
+    for f in formulas[1:]:
+        result = Or(result, f)
+    return result
+
+
+def subset_eq(x: str, y: str) -> Formula:
+    """``X ⊆ Y`` desugared as ``∀u (u ∈ X → u ∈ Y)`` (depth 1)."""
+    u = fresh_individual_var()
+    return ForallInd(u, Implies(In(u, x), In(u, y)))
+
+
+def proper_subset(x: str, y: str) -> Formula:
+    """``X ⊂ Y``: containment plus a witness of strictness (depth 1)."""
+    u = fresh_individual_var()
+    v = fresh_individual_var()
+    return And(
+        ForallInd(u, Implies(In(u, x), In(u, y))),
+        ExistsInd(v, And(In(v, y), Not(In(v, x)))),
+    )
+
+
+def not_in(term: IndividualTerm, set_var: str) -> Formula:
+    return Not(In(term, set_var))
+
+
+#: Quantifier-free valid/unsatisfiable formulas, used as neutral elements
+#: of the n-ary connectives (constant comparison needs no domain lookup).
+TRUE: Formula = Eq(Const("⊤"), Const("⊤"))
+FALSE: Formula = Not(TRUE)

@@ -1,0 +1,203 @@
+"""Definite-Horn abduction: the paper's closing application.
+
+Conclusion of the paper: "the PRIMALITY problem is closely related to an
+important problem in the area of artificial intelligence, namely the
+relevance problem of propositional abduction ...  if the clausal theory
+is restricted to definite Horn clauses and if we are only interested in
+minimal explanations, then the relevance problem is basically the same
+as the problem of deciding primality in a subschema R' ⊆ R."
+
+A propositional abduction problem (PAP) is ``(V, H, M, T)``: variables,
+hypotheses H ⊆ V, manifestations M ⊆ V, and a definite-Horn theory T.
+``E ⊆ H`` is an *explanation* iff ``T ∪ E |= M``; a hypothesis is
+*relevant* iff it belongs to some ⊆-minimal explanation and *necessary*
+iff it belongs to every explanation.
+
+The reduction implemented by :func:`relevance_schema`: add a fresh
+attribute μ with FDs ``M -> μ`` and ``μ -> v`` for every variable; then
+``E+ = V ∪ {μ}`` iff E is an explanation, so h is relevant iff h is
+part of a minimal key drawn from H -- primality in the subschema H,
+decided by :func:`repro.problems.subschema.is_prime_in_subschema`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Iterable, Iterator
+
+from ..structures.schema import FunctionalDependency, RelationalSchema
+from .._util import powerset
+from .subschema import is_prime_in_subschema
+
+Variable = str
+
+#: The fresh manifestation-collector attribute of the reduction.
+GOAL = "µ"
+
+
+@dataclass(frozen=True)
+class HornClause:
+    """A definite Horn clause ``body -> head`` (facts have empty body)."""
+
+    body: frozenset[Variable]
+    head: Variable
+
+    def __str__(self) -> str:
+        if not self.body:
+            return self.head
+        return f"{' & '.join(sorted(self.body))} -> {self.head}"
+
+
+class AbductionProblem:
+    """A propositional abduction problem over a definite-Horn theory."""
+
+    def __init__(
+        self,
+        variables: Iterable[Variable],
+        hypotheses: Iterable[Variable],
+        manifestations: Iterable[Variable],
+        theory: Iterable[HornClause],
+    ):
+        self.variables = frozenset(variables)
+        self.hypotheses = frozenset(hypotheses)
+        self.manifestations = frozenset(manifestations)
+        self.theory = tuple(theory)
+        if not self.manifestations:
+            raise ValueError("need at least one manifestation")
+        for name, subset in (
+            ("hypotheses", self.hypotheses),
+            ("manifestations", self.manifestations),
+        ):
+            unknown = subset - self.variables
+            if unknown:
+                raise ValueError(f"{name} outside the variables: {sorted(unknown)}")
+        for clause in self.theory:
+            unknown = (clause.body | {clause.head}) - self.variables
+            if unknown:
+                raise ValueError(f"clause {clause} uses unknown {sorted(unknown)}")
+        if GOAL in self.variables:
+            raise ValueError(f"variable name {GOAL!r} is reserved")
+
+    @classmethod
+    def parse(cls, text: str) -> "AbductionProblem":
+        """``"vars: a b c; hyp: a b; obs: c; a & b -> c"``."""
+        sections = [part.strip() for part in text.split(";") if part.strip()]
+        variables: list[str] = []
+        hypotheses: list[str] = []
+        manifestations: list[str] = []
+        clauses: list[HornClause] = []
+        for section in sections:
+            if section.startswith("vars:"):
+                variables = section[5:].split()
+            elif section.startswith("hyp:"):
+                hypotheses = section[4:].split()
+            elif section.startswith("obs:"):
+                manifestations = section[4:].split()
+            else:
+                left, arrow, right = section.partition("->")
+                if not arrow:
+                    raise ValueError(f"clause {section!r} lacks '->'")
+                body = frozenset(
+                    term.strip() for term in left.split("&") if term.strip()
+                )
+                clauses.append(HornClause(body, right.strip()))
+        return cls(variables, hypotheses, manifestations, clauses)
+
+    # -- semantics -------------------------------------------------------
+
+    def consequences(self, assumptions: Iterable[Variable]) -> frozenset[Variable]:
+        """Forward chaining: everything T ∪ assumptions entails."""
+        derived = set(assumptions)
+        changed = True
+        while changed:
+            changed = False
+            for clause in self.theory:
+                if clause.head not in derived and clause.body <= derived:
+                    derived.add(clause.head)
+                    changed = True
+        return frozenset(derived)
+
+    def is_explanation(self, hypotheses: Iterable[Variable]) -> bool:
+        chosen = frozenset(hypotheses)
+        if not chosen <= self.hypotheses:
+            raise ValueError("explanations must consist of hypotheses")
+        return self.manifestations <= self.consequences(chosen)
+
+    def minimal_explanations(self) -> Iterator[frozenset[Variable]]:
+        """All ⊆-minimal explanations (exponential enumeration)."""
+        found: list[frozenset[Variable]] = []
+        for subset in powerset(sorted(self.hypotheses)):
+            candidate = frozenset(subset)
+            if any(smaller <= candidate for smaller in found):
+                continue
+            if self.is_explanation(candidate):
+                found.append(candidate)
+                yield candidate
+
+    def is_solvable(self) -> bool:
+        return self.is_explanation(self.hypotheses)
+
+    # -- relevance / necessity -------------------------------------------
+
+    def relevant_bruteforce(self, hypothesis: Variable) -> bool:
+        """h in some minimal explanation; ground truth."""
+        self._check_hypothesis(hypothesis)
+        return any(
+            hypothesis in explanation
+            for explanation in self.minimal_explanations()
+        )
+
+    def necessary_bruteforce(self, hypothesis: Variable) -> bool:
+        """h in *every* explanation (equivalently every minimal one)."""
+        self._check_hypothesis(hypothesis)
+        if not self.is_solvable():
+            return False
+        return not self.is_explanation(self.hypotheses - {hypothesis})
+
+    def _check_hypothesis(self, hypothesis: Variable) -> None:
+        if hypothesis not in self.hypotheses:
+            raise ValueError(f"{hypothesis!r} is not a hypothesis")
+
+    # -- the reduction to subschema primality -----------------------------
+
+    def relevance_schema(self) -> RelationalSchema:
+        """The schema whose H-restricted keys are the explanations."""
+        from .._util import fresh_names
+
+        attributes = sorted(self.variables) + [GOAL]
+        names = fresh_names("f", self.variables | {GOAL})
+        fds: list[FunctionalDependency] = []
+        for clause in self.theory:
+            # a fact (empty body) is an FD with empty lhs: it belongs to
+            # every closed set, exactly like a consequence of T alone.
+            fds.append(
+                FunctionalDependency(next(names), clause.body, clause.head)
+            )
+        fds.append(
+            FunctionalDependency(
+                next(names), frozenset(self.manifestations), GOAL
+            )
+        )
+        for variable in sorted(self.variables):
+            fds.append(
+                FunctionalDependency(next(names), frozenset({GOAL}), variable)
+            )
+        return RelationalSchema(attributes, fds)
+
+    def relevant(self, hypothesis: Variable) -> bool:
+        """Relevance via bounded-treewidth subschema primality.
+
+        h is relevant iff h is part of a minimal X ⊆ H with X+ = R in
+        :meth:`relevance_schema` -- the paper's reduction, decided by
+        the extended Figure 6 dynamic program.
+        """
+        self._check_hypothesis(hypothesis)
+        schema = self.relevance_schema()
+        return is_prime_in_subschema(schema, hypothesis, self.hypotheses)
+
+    def __repr__(self) -> str:
+        return (
+            f"AbductionProblem(|V|={len(self.variables)}, "
+            f"|H|={len(self.hypotheses)}, |M|={len(self.manifestations)}, "
+            f"|T|={len(self.theory)})"
+        )

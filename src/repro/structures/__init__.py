@@ -1,0 +1,39 @@
+"""Finite structures substrate: signatures, tau-structures, graphs, schemas."""
+
+from .signature import GRAPH_SIGNATURE, SCHEMA_SIGNATURE, Predicate, Signature
+from .structure import Element, Fact, PointedStructure, Structure
+from .graphs import (
+    Graph,
+    gaifman_graph,
+    graph_to_structure,
+    relabel,
+    structure_to_graph,
+    subgraph,
+)
+from .schema import (
+    Attribute,
+    FunctionalDependency,
+    RelationalSchema,
+    running_example,
+)
+
+__all__ = [
+    "Attribute",
+    "Element",
+    "Fact",
+    "FunctionalDependency",
+    "GRAPH_SIGNATURE",
+    "Graph",
+    "PointedStructure",
+    "Predicate",
+    "RelationalSchema",
+    "SCHEMA_SIGNATURE",
+    "Signature",
+    "Structure",
+    "gaifman_graph",
+    "graph_to_structure",
+    "relabel",
+    "running_example",
+    "structure_to_graph",
+    "subgraph",
+]

@@ -1,0 +1,331 @@
+"""Relational schemas ``(R, F)`` and the PRIMALITY problem (Section 2.1).
+
+A schema is a set of attributes ``R`` and a set of functional
+dependencies ``F``; w.l.o.g. every FD has a single attribute on its
+right-hand side.  This module provides:
+
+* FD closure ``X+`` (the linear-time counting algorithm of Beeri &
+  Bernstein);
+* superkey / key tests and candidate-key enumeration (Lucchesi-Osborn);
+* brute-force primality -- the NP-hard baseline every treewidth-based
+  algorithm in :mod:`repro.problems.primality` is validated against;
+* the encoding of a schema as a {fd, att, lh, rh}-structure
+  (Section 2.2) and its inverse.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import AbstractSet, Iterable, Iterator, Sequence
+
+from .signature import SCHEMA_SIGNATURE
+from .structure import Structure
+
+Attribute = str
+
+
+@dataclass(frozen=True, order=True)
+class FunctionalDependency:
+    """An FD ``name: lhs -> rhs`` with a single right-hand attribute."""
+
+    name: str
+    lhs: frozenset[Attribute]
+    rhs: Attribute
+
+    def __str__(self) -> str:
+        left = "".join(sorted(self.lhs)) or "{}"
+        return f"{self.name}: {left} -> {self.rhs}"
+
+
+class RelationalSchema:
+    """An immutable relational schema ``(R, F)``.
+
+    Attributes are strings.  FD names default to ``f1, f2, ...`` and
+    must be distinct from each other and from every attribute (attribute
+    and FD identifiers share the structure domain in the tau-structure
+    encoding).
+    """
+
+    __slots__ = ("attributes", "fds", "_fd_by_name")
+
+    def __init__(
+        self,
+        attributes: Iterable[Attribute],
+        fds: Iterable[FunctionalDependency],
+    ):
+        attrs = tuple(sorted(set(attributes)))
+        fd_tuple = tuple(fds)
+        names = [f.name for f in fd_tuple]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate FD names")
+        clash = set(names) & set(attrs)
+        if clash:
+            raise ValueError(f"FD names clash with attributes: {sorted(clash)}")
+        attr_set = set(attrs)
+        for f in fd_tuple:
+            unknown = (f.lhs | {f.rhs}) - attr_set
+            if unknown:
+                raise ValueError(f"FD {f} uses unknown attributes {sorted(unknown)}")
+        self.attributes = attrs
+        self.fds = fd_tuple
+        self._fd_by_name = {f.name: f for f in fd_tuple}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "RelationalSchema":
+        """Parse the compact notation used throughout the paper.
+
+        ``"R = abcdeg; ab -> c, c -> b, cd -> e, de -> g, g -> e"``
+        produces Example 2.1.  Attributes are single characters in this
+        notation; FDs are named ``f1, f2, ...`` in order of appearance.
+        An FD with several right-hand attributes is split into one FD
+        per attribute (the standard w.l.o.g. step of Section 2.1).
+        """
+        head, _, body = text.partition(";")
+        match = re.search(r"=\s*([A-Za-z]+)", head)
+        if not match:
+            raise ValueError(f"cannot parse attribute list from {head!r}")
+        attributes = list(match.group(1))
+        fds: list[FunctionalDependency] = []
+        counter = 1
+        body = body.strip()
+        if body:
+            for part in body.split(","):
+                part = part.strip()
+                if not part:
+                    continue
+                left, arrow, right = part.partition("->")
+                if not arrow:
+                    raise ValueError(f"FD {part!r} lacks '->'")
+                lhs = frozenset(left.strip())
+                for rhs in right.strip():
+                    fds.append(FunctionalDependency(f"f{counter}", lhs, rhs))
+                    counter += 1
+        return cls(attributes, fds)
+
+    def fd(self, name: str) -> FunctionalDependency:
+        return self._fd_by_name[name]
+
+    # ------------------------------------------------------------------
+    # Closure and keys
+    # ------------------------------------------------------------------
+
+    def closure(self, attrs: Iterable[Attribute]) -> frozenset[Attribute]:
+        """The closure ``X+`` of an attribute set under F.
+
+        Linear-time counting algorithm: each FD keeps a count of
+        left-hand attributes not yet derived; when the count hits zero
+        the right-hand side is derived.
+        """
+        derived = set(attrs)
+        unknown = derived - set(self.attributes)
+        if unknown:
+            raise ValueError(f"unknown attributes {sorted(unknown)}")
+        missing = {f.name: len(f.lhs - derived) for f in self.fds}
+        waiting: dict[Attribute, list[FunctionalDependency]] = {}
+        for f in self.fds:
+            for a in f.lhs - derived:
+                waiting.setdefault(a, []).append(f)
+        queue = [f.rhs for f in self.fds if missing[f.name] == 0]
+        fired = {f.name for f in self.fds if missing[f.name] == 0}
+        while queue:
+            a = queue.pop()
+            if a in derived:
+                continue
+            derived.add(a)
+            for f in waiting.get(a, ()):
+                missing[f.name] -= 1
+                if missing[f.name] == 0 and f.name not in fired:
+                    fired.add(f.name)
+                    queue.append(f.rhs)
+        return frozenset(derived)
+
+    def is_closed(self, attrs: Iterable[Attribute]) -> bool:
+        """Is ``attrs`` closed, i.e. ``attrs+ == attrs``?"""
+        attrs = frozenset(attrs)
+        return self.closure(attrs) == attrs
+
+    def is_superkey(self, attrs: Iterable[Attribute]) -> bool:
+        return self.closure(attrs) == frozenset(self.attributes)
+
+    def is_key(self, attrs: Iterable[Attribute]) -> bool:
+        """A key is a superkey no proper subset of which is a superkey."""
+        attrs = frozenset(attrs)
+        if not self.is_superkey(attrs):
+            return False
+        return all(
+            not self.is_superkey(attrs - {a}) for a in attrs
+        )
+
+    def minimize_superkey(self, attrs: Iterable[Attribute]) -> frozenset[Attribute]:
+        """Shrink a superkey to a key by greedy removal."""
+        key = set(attrs)
+        if not self.is_superkey(key):
+            raise ValueError("input is not a superkey")
+        for a in sorted(key):
+            if self.is_superkey(key - {a}):
+                key.discard(a)
+        return frozenset(key)
+
+    def candidate_keys(self) -> set[frozenset[Attribute]]:
+        """All candidate keys, by the Lucchesi-Osborn saturation algorithm.
+
+        Worst-case exponential in the number of keys (which may itself be
+        exponential), but correct and fast on the schema sizes used for
+        cross-validation.
+        """
+        keys: set[frozenset[Attribute]] = set()
+        first = self.minimize_superkey(self.attributes)
+        keys.add(first)
+        queue = [first]
+        while queue:
+            key = queue.pop()
+            for f in self.fds:
+                candidate = f.lhs | (key - {f.rhs})
+                if not any(existing <= candidate for existing in keys):
+                    new_key = self.minimize_superkey(candidate)
+                    if new_key not in keys:
+                        keys.add(new_key)
+                        queue.append(new_key)
+        return keys
+
+    # ------------------------------------------------------------------
+    # Primality (Section 2.1) -- brute-force baselines
+    # ------------------------------------------------------------------
+
+    def is_prime_bruteforce(self, attribute: Attribute) -> bool:
+        """Is ``attribute`` contained in at least one key?
+
+        Uses candidate-key enumeration; NP-hard in general, which is the
+        very point of the paper's treewidth-based algorithm.
+        """
+        if attribute not in self.attributes:
+            raise ValueError(f"unknown attribute {attribute!r}")
+        return any(attribute in key for key in self.candidate_keys())
+
+    def prime_attributes_bruteforce(self) -> frozenset[Attribute]:
+        """All prime attributes (Section 5.3's enumeration problem)."""
+        primes: set[Attribute] = set()
+        for key in self.candidate_keys():
+            primes |= key
+        return frozenset(primes)
+
+    def is_prime_via_closed_set(self, attribute: Attribute) -> bool:
+        """The characterization used by the MSO formula of Example 2.6.
+
+        ``a`` is prime iff there is a set ``Y subseteq R`` with
+        ``Y+ = Y``, ``a not in Y`` and ``(Y u {a})+ = R``.  Checked by
+        exhaustive enumeration of subsets -- exponential, used only to
+        validate the characterization itself in tests.
+        """
+        from .._util import powerset
+
+        rest = [b for b in self.attributes if b != attribute]
+        for subset in powerset(rest):
+            y = frozenset(subset)
+            if self.is_closed(y) and self.is_superkey(y | {attribute}):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Normal forms (extension: the paper motivates primality via 3NF)
+    # ------------------------------------------------------------------
+
+    def is_third_normal_form(self) -> bool:
+        """3NF test: for every FD X -> a, either a in X, or X is a
+        superkey, or a is prime.
+
+        Primality testing is the "indispensable prerequisite" the paper's
+        introduction refers to; this method ties the reproduction back to
+        that motivation.
+        """
+        primes = self.prime_attributes_bruteforce()
+        for f in self.fds:
+            if f.rhs in f.lhs:
+                continue
+            if self.is_superkey(f.lhs):
+                continue
+            if f.rhs in primes:
+                continue
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Structure encoding (Section 2.2)
+    # ------------------------------------------------------------------
+
+    def to_structure(self) -> Structure:
+        """The {fd, att, lh, rh}-structure of Example 2.2.
+
+        The domain is ``R`` plus the FD names; ``lh``/``rh`` record
+        left/right-hand occurrences.
+        """
+        domain = list(self.attributes) + [f.name for f in self.fds]
+        relations = {
+            "att": {(a,) for a in self.attributes},
+            "fd": {(f.name,) for f in self.fds},
+            "lh": {(b, f.name) for f in self.fds for b in f.lhs},
+            "rh": {(f.rhs, f.name) for f in self.fds},
+        }
+        return Structure(SCHEMA_SIGNATURE, domain, relations)
+
+    @classmethod
+    def from_structure(cls, structure: Structure) -> "RelationalSchema":
+        """Inverse of :meth:`to_structure`."""
+        if structure.signature != SCHEMA_SIGNATURE:
+            raise ValueError("not a schema structure")
+        attributes = [a for (a,) in structure.relation("att")]
+        lhs_of: dict[str, set[Attribute]] = {}
+        rhs_of: dict[str, Attribute] = {}
+        for (f,) in structure.relation("fd"):
+            lhs_of[str(f)] = set()
+        for b, f in structure.relation("lh"):
+            lhs_of[str(f)].add(str(b))
+        for b, f in structure.relation("rh"):
+            if str(f) in rhs_of:
+                raise ValueError(f"FD {f!r} has several right-hand attributes")
+            rhs_of[str(f)] = str(b)
+        fds = []
+        for name in sorted(lhs_of):
+            if name not in rhs_of:
+                raise ValueError(f"FD {name!r} lacks a right-hand side")
+            fds.append(
+                FunctionalDependency(name, frozenset(lhs_of[name]), rhs_of[name])
+            )
+        return cls(attributes, fds)
+
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationalSchema):
+            return NotImplemented
+        return self.attributes == other.attributes and set(self.fds) == set(other.fds)
+
+    def __hash__(self) -> int:
+        return hash((self.attributes, frozenset(self.fds)))
+
+    def __repr__(self) -> str:
+        return (
+            f"RelationalSchema(|R|={len(self.attributes)}, |F|={len(self.fds)})"
+        )
+
+    def describe(self) -> str:
+        lines = [f"R = {''.join(self.attributes)}"]
+        lines += [f"  {f}" for f in self.fds]
+        return "\n".join(lines)
+
+
+def running_example() -> RelationalSchema:
+    """Example 2.1: ``R = abcdeg`` with F = {ab->c, c->b, cd->e, de->g, g->e}.
+
+    Its keys are ``abd`` and ``acd``; the prime attributes are a, b, c, d.
+    Used throughout the paper and throughout this package's tests,
+    examples and documentation.
+    """
+    return RelationalSchema.parse(
+        "R = abcdeg; ab -> c, c -> b, cd -> e, de -> g, g -> e"
+    )

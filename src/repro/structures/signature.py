@@ -1,0 +1,101 @@
+"""Relational signatures.
+
+A signature ``tau = {R1, ..., RK}`` is a finite set of predicate symbols,
+each with a fixed arity (Section 2.2 of the paper).  Signatures are
+immutable and hashable, so they can be shared freely between structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+
+@dataclass(frozen=True, order=True)
+class Predicate:
+    """A predicate symbol with its arity."""
+
+    name: str
+    arity: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("predicate name must be non-empty")
+        if self.arity < 0:
+            raise ValueError(f"predicate {self.name!r} has negative arity")
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+class Signature:
+    """An immutable set of :class:`Predicate` symbols, indexed by name."""
+
+    __slots__ = ("_by_name",)
+
+    def __init__(self, arities: Mapping[str, int]):
+        by_name = {}
+        for name, arity in arities.items():
+            by_name[name] = Predicate(name, arity)
+        object.__setattr__(self, "_by_name", dict(sorted(by_name.items())))
+
+    @classmethod
+    def of(cls, **arities: int) -> "Signature":
+        """Build a signature from keyword arguments: ``Signature.of(e=2)``."""
+        return cls(arities)
+
+    def arity(self, name: str) -> int:
+        """Arity of the predicate called ``name`` (KeyError if absent)."""
+        return self._by_name[name].arity
+
+    def predicates(self) -> Iterator[Predicate]:
+        yield from self._by_name.values()
+
+    def names(self) -> Iterator[str]:
+        yield from self._by_name
+
+    def extended(self, arities: Mapping[str, int]) -> "Signature":
+        """A new signature with extra predicates added.
+
+        Redeclaring an existing predicate with a different arity is an
+        error; redeclaring with the same arity is a no-op.
+        """
+        merged = {p.name: p.arity for p in self.predicates()}
+        for name, arity in arities.items():
+            if name in merged and merged[name] != arity:
+                raise ValueError(
+                    f"predicate {name!r} redeclared with arity {arity}, "
+                    f"was {merged[name]}"
+                )
+            merged[name] = arity
+        return Signature(merged)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._by_name)
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Signature):
+            return NotImplemented
+        return self._by_name == other._by_name
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._by_name.values()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(p) for p in self.predicates())
+        return f"Signature({{{inner}}})"
+
+
+#: Graphs as {e}-structures: ``e`` is the binary edge relation (Section 5.1).
+GRAPH_SIGNATURE = Signature.of(e=2)
+
+#: Relational schemas as {fd, att, lh, rh}-structures (Section 2.2):
+#: ``fd(f)`` - f is a functional dependency; ``att(b)`` - b is an attribute;
+#: ``lh(b, f)`` - b occurs in lhs(f); ``rh(b, f)`` - b occurs in rhs(f).
+SCHEMA_SIGNATURE = Signature.of(fd=1, att=1, lh=2, rh=2)

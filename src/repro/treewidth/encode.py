@@ -1,0 +1,130 @@
+"""Encoding ``A_td``: the structure plus its tree decomposition (Section 4).
+
+The extended signature is ``tau_td = tau ∪ {root, leaf, child1, child2,
+bag}``.  ``child1(s1, s)`` says s1 is the first (or only) child of s;
+``child2(s2, s)`` the second child; ``bag`` has arity ``w + 2`` with
+``bag(t, a0, ..., aw)`` in the Definition 2.3 tuple form.
+
+For the Section 5 algorithms bags are sets; there we encode
+``bag(t, X)`` where ``X`` is a frozenset *constant* -- the paper's
+"succinct representation by non-monadic datalog" where fixed-size sets
+are first-class values handled by built-ins (Section 6, optimizations
+(1) and (4)).  A hook lets problem modules split the payload, e.g.
+PRIMALITY's ``bag(t, At, Fd)``.
+
+Tree nodes live in the same domain as the structure's elements
+(Section 4: "The domain of A_td is the union of dom(A) and the nodes of
+T"); :class:`TDNode` wrappers keep them collision-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..structures.signature import Signature
+from ..structures.structure import Element, Structure
+from .decomposition import NodeId
+from .nice import NiceTreeDecomposition
+from .normalize import NormalizedTreeDecomposition
+
+
+@dataclass(frozen=True, order=True)
+class TDNode:
+    """A tree-decomposition node as a domain element of ``A_td``."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"s{self.index}"
+
+
+def _tree_facts(
+    tree,
+    node_const: Callable[[NodeId], TDNode],
+) -> tuple[set, set, set, set]:
+    roots = {(node_const(tree.root),)}
+    leaves = set()
+    child1 = set()
+    child2 = set()
+    for node in tree.nodes():
+        children = tree.children(node)
+        if not children:
+            leaves.add((node_const(node),))
+        if len(children) >= 1:
+            child1.add((node_const(children[0]), node_const(node)))
+        if len(children) == 2:
+            child2.add((node_const(children[1]), node_const(node)))
+        if len(children) > 2:
+            raise ValueError(f"node {node} has more than two children")
+    return roots, leaves, child1, child2
+
+
+def encode_normalized(
+    structure: Structure, ntd: NormalizedTreeDecomposition
+) -> Structure:
+    """``A_td`` for a Definition 2.3 decomposition (Example 4.2).
+
+    ``bag`` has arity ``w + 2``: the node followed by the bag tuple.
+    """
+    w = ntd.width
+    signature = structure.signature.extended(
+        {"root": 1, "leaf": 1, "child1": 2, "child2": 2, "bag": w + 2}
+    )
+    node_const = TDNode
+    roots, leaves, child1, child2 = _tree_facts(ntd.tree, node_const)
+    bags = {
+        (node_const(node),) + ntd.bag(node) for node in ntd.tree.nodes()
+    }
+    domain = set(structure.domain) | {node_const(n) for n in ntd.tree.nodes()}
+    relations = {name: set(structure.relation(name)) for name in structure.signature}
+    relations.update(
+        root=roots, leaf=leaves, child1=child1, child2=child2, bag=bags
+    )
+    return Structure(signature, domain, relations)
+
+
+def encode_nice(
+    structure: Structure,
+    nice: NiceTreeDecomposition,
+    bag_payload: Callable[[frozenset[Element]], tuple] | None = None,
+) -> Structure:
+    """``A_td`` for a Section 5 decomposition with set-valued bags.
+
+    ``bag_payload`` maps a bag to the constant tuple stored after the
+    node in the ``bag`` relation.  The default stores the whole bag as a
+    single frozenset constant; PRIMALITY passes a splitter producing
+    ``(At, Fd)``.
+    """
+    if bag_payload is None:
+        bag_payload = lambda bag: (bag,)
+    payload_arity = None
+    bags = set()
+    for node in nice.tree.nodes():
+        payload = tuple(bag_payload(nice.bag(node)))
+        if payload_arity is None:
+            payload_arity = len(payload)
+        elif payload_arity != len(payload):
+            raise ValueError("bag_payload must have a fixed arity")
+        bags.add((TDNode(node),) + payload)
+    payload_arity = payload_arity or 1
+    signature = structure.signature.extended(
+        {
+            "root": 1,
+            "leaf": 1,
+            "child1": 2,
+            "child2": 2,
+            "bag": 1 + payload_arity,
+        }
+    )
+    roots, leaves, child1, child2 = _tree_facts(nice.tree, TDNode)
+    domain = set(structure.domain) | {TDNode(n) for n in nice.tree.nodes()}
+    # Frozenset payload constants also enter the domain so that A_td is a
+    # well-formed structure (datalog constants must be domain elements).
+    for bag_fact in bags:
+        domain.update(bag_fact)
+    relations = {name: set(structure.relation(name)) for name in structure.signature}
+    relations.update(
+        root=roots, leaf=leaves, child1=child1, child2=child2, bag=bags
+    )
+    return Structure(signature, domain, relations)

@@ -1,0 +1,93 @@
+"""Exact treewidth for small graphs.
+
+Dynamic programming over vertex subsets (Bodlaender, Fomin, Koster,
+Kratsch & Thilikos, "On exact algorithms for treewidth"): the treewidth
+equals the minimum over elimination orders of the maximum elimination
+degree, and that minimum satisfies
+
+    f(S) = min over v in S of  max( f(S - {v}),  q(S - {v}, v) )
+
+where ``q(S, v)`` is the number of vertices outside ``S ∪ {v}`` reachable
+from ``v`` via paths whose internal vertices lie in ``S``.  Runs in
+O(2^n · poly(n)); intended for the small instances used to calibrate the
+heuristics in tests and benchmarks (n <= ~16).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..structures.graphs import Graph
+
+Vertex = Hashable
+
+
+def _component_degree(
+    adjacency: list[set[int]], through: int, v: int, n: int
+) -> int:
+    """``q(S, v)``: vertices outside S ∪ {v} reachable from v through S.
+
+    ``through`` is the bitmask of S.
+    """
+    seen_mask = 1 << v
+    stack = [v]
+    outside: set[int] = set()
+    while stack:
+        u = stack.pop()
+        for w in adjacency[u]:
+            bit = 1 << w
+            if seen_mask & bit:
+                continue
+            if through & bit:
+                seen_mask |= bit
+                stack.append(w)
+            else:
+                outside.add(w)
+    return len(outside)
+
+
+def treewidth_exact(graph: Graph) -> int:
+    """The exact treewidth of ``graph`` (exponential-time DP)."""
+    vertices = sorted(graph.vertices, key=repr)
+    n = len(vertices)
+    if n == 0:
+        return 0
+    if n > 22:
+        raise ValueError(
+            f"exact treewidth DP limited to 22 vertices, got {n}; "
+            "use repro.treewidth.heuristics instead"
+        )
+    index = {v: i for i, v in enumerate(vertices)}
+    adjacency: list[set[int]] = [set() for _ in range(n)]
+    for u, v in graph.edges():
+        if u != v:
+            adjacency[index[u]].add(index[v])
+            adjacency[index[v]].add(index[u])
+
+    full = (1 << n) - 1
+    # f over subsets, computed by increasing popcount; f(empty) = -inf
+    f: dict[int, int] = {0: -1}
+    by_popcount: list[list[int]] = [[] for _ in range(n + 1)]
+    for mask in range(1 << n):
+        by_popcount[mask.bit_count()].append(mask)
+    for size in range(1, n + 1):
+        for mask in by_popcount[size]:
+            best = n  # upper bound: eliminating into a clique
+            rest = mask
+            while rest:
+                low = rest & -rest
+                v = low.bit_length() - 1
+                rest ^= low
+                without = mask ^ low
+                candidate = max(
+                    f[without], _component_degree(adjacency, without, v, n)
+                )
+                if candidate < best:
+                    best = candidate
+            f[mask] = best
+    return f[full]
+
+
+def is_treewidth_at_most(graph: Graph, w: int) -> bool:
+    """Decision variant, for tests mirroring the paper's '<= w' checks."""
+    return treewidth_exact(graph) <= w

@@ -1,0 +1,299 @@
+"""Normalized tree decompositions (Definition 2.3, Proposition 2.4).
+
+The normal form used for the generic MSO-to-datalog construction of
+Section 4:
+
+1. bags are *tuples* of exactly ``w + 1`` pairwise distinct elements;
+2. every internal node has 1 or 2 children;
+3. a node with one child is a *permutation node* (child bag is a
+   permutation of the parent's) or an *element replacement node* (child
+   bag replaces the parent's position-0 element);
+4. a node with two children is a *branch node* and both children carry
+   the parent's bag verbatim.
+
+:func:`normalize` implements the five-step linear-time transformation of
+Proposition 2.4 (padding, binarization, branch equalization,
+interpolation, tuple assignment) and preserves the width exactly.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Mapping
+
+from ..structures.structure import Element, Structure
+from .decomposition import NodeId, RootedTree, TreeDecomposition
+
+
+class NormalizedNodeKind(Enum):
+    LEAF = "leaf"
+    PERMUTATION = "permutation"
+    ELEMENT_REPLACEMENT = "element_replacement"
+    BRANCH = "branch"
+
+
+class NormalizedTreeDecomposition:
+    """A Definition 2.3 normal-form decomposition with tuple bags."""
+
+    __slots__ = ("tree", "tuples")
+
+    def __init__(
+        self, tree: RootedTree, tuples: Mapping[NodeId, tuple[Element, ...]]
+    ):
+        self.tree = tree
+        self.tuples = {n: tuple(tuples[n]) for n in tree.nodes()}
+        widths = {len(t) for t in self.tuples.values()}
+        if len(widths) > 1:
+            raise ValueError(f"bags have mixed sizes {sorted(widths)}")
+
+    @property
+    def width(self) -> int:
+        return len(next(iter(self.tuples.values()))) - 1
+
+    def bag(self, node: NodeId) -> tuple[Element, ...]:
+        return self.tuples[node]
+
+    def node_count(self) -> int:
+        return self.tree.node_count()
+
+    def as_set_decomposition(self) -> TreeDecomposition:
+        return TreeDecomposition(
+            self.tree.copy(), {n: frozenset(t) for n, t in self.tuples.items()}
+        )
+
+    def node_kind(self, node: NodeId) -> NormalizedNodeKind:
+        """Classify ``node`` per Definition 2.3 (raises if malformed)."""
+        children = self.tree.children(node)
+        if len(children) == 0:
+            return NormalizedNodeKind.LEAF
+        if len(children) == 2:
+            here = self.tuples[node]
+            if any(self.tuples[c] != here for c in children):
+                raise ValueError(f"branch node {node} has non-identical children")
+            return NormalizedNodeKind.BRANCH
+        if len(children) != 1:
+            raise ValueError(f"node {node} has {len(children)} children")
+        here = self.tuples[node]
+        child = self.tuples[children[0]]
+        if set(child) == set(here):
+            return NormalizedNodeKind.PERMUTATION
+        if child[1:] == here[1:] and child[0] != here[0]:
+            return NormalizedNodeKind.ELEMENT_REPLACEMENT
+        raise ValueError(
+            f"node {node} is neither permutation nor element replacement: "
+            f"{here} -> {child}"
+        )
+
+    def permutation_of(self, node: NodeId) -> tuple[int, ...]:
+        """For a permutation node: pi with child_bag[i] == bag[pi[i]]."""
+        here = self.tuples[node]
+        (child,) = self.tree.children(node)
+        child_bag = self.tuples[child]
+        position = {x: i for i, x in enumerate(here)}
+        return tuple(position[x] for x in child_bag)
+
+    def validate(self, structure: Structure | None = None) -> None:
+        """Check Definition 2.3 plus (optionally) the TD axioms."""
+        for node, bag in self.tuples.items():
+            if len(set(bag)) != len(bag):
+                raise ValueError(f"bag of {node} repeats elements: {bag}")
+        for node in self.tree.nodes():
+            self.node_kind(node)  # raises on malformed nodes
+        if structure is not None:
+            self.as_set_decomposition().validate_for_structure(structure)
+
+    def __repr__(self) -> str:
+        return (
+            f"NormalizedTreeDecomposition(nodes={self.node_count()}, "
+            f"width={self.width})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Proposition 2.4: the normalization pipeline
+# ----------------------------------------------------------------------
+
+
+def widen(td: TreeDecomposition, width: int) -> TreeDecomposition:
+    """Grow a decomposition of smaller width to exactly ``width``.
+
+    Repeatedly borrows one element from an adjacent bag (which preserves
+    connectedness) until some bag has ``width + 1`` elements; the
+    pad-sweep then fills the rest.  Raises if the decomposition covers
+    fewer than ``width + 1`` elements (the paper's "w.l.o.g. the domain
+    has at least w + 1 elements").
+    """
+    if td.width > width:
+        raise ValueError(f"decomposition already wider than {width}")
+    if len(td.all_elements()) < width + 1:
+        raise ValueError(
+            f"cannot widen to {width}: only {len(td.all_elements())} elements"
+        )
+    td = td.copy()
+    bags = dict(td.bags)
+    target = width + 1
+
+    def grow_once() -> None:
+        for node in td.tree.preorder():
+            neighbors = list(td.tree.children(node))
+            parent = td.tree.parent(node)
+            if parent is not None:
+                neighbors.append(parent)
+            for nbr in neighbors:
+                surplus = sorted(bags[nbr] - bags[node], key=repr)
+                if surplus:
+                    bags[node] = bags[node] | {surplus[0]}
+                    return
+        raise ValueError("cannot widen: all bags already equal")
+
+    while max(len(b) for b in bags.values()) < target:
+        grow_once()
+    return pad_bags_to_full_size(TreeDecomposition(td.tree, bags), width)
+
+
+def pad_bags_to_full_size(
+    td: TreeDecomposition, width: int | None = None
+) -> TreeDecomposition:
+    """Step (1): grow every bag to ``w + 1`` elements.
+
+    Elements are borrowed from adjacent larger bags, which preserves the
+    connectedness condition (the borrowed element's subtree gains an
+    adjacent node).  At least one bag is full by the definition of
+    width, so repeated sweeps terminate.
+    """
+    td = td.copy()
+    target = (width if width is not None else td.width) + 1
+    bags = dict(td.bags)
+    changed = True
+    while changed:
+        changed = False
+        for node in td.tree.preorder():
+            neighbors = list(td.tree.children(node))
+            parent = td.tree.parent(node)
+            if parent is not None:
+                neighbors.append(parent)
+            for nbr in neighbors:
+                need = target - len(bags[nbr])
+                if need <= 0:
+                    continue
+                surplus = sorted(bags[node] - bags[nbr], key=repr)[:need]
+                if surplus:
+                    bags[nbr] = bags[nbr] | frozenset(surplus)
+                    changed = True
+    short = [n for n, b in bags.items() if len(b) != target]
+    if short:
+        raise ValueError(f"could not pad bags of nodes {short}")
+    return TreeDecomposition(td.tree, bags)
+
+
+def binarize(td: TreeDecomposition) -> TreeDecomposition:
+    """Step (2): give every node at most two children by inserting copies."""
+    tree = td.tree.copy()
+    bags = dict(td.bags)
+    for node in list(tree.nodes()):
+        while len(tree.children(node)) > 2:
+            children = list(tree.children(node))
+            keep, spill = children[0], children[1:]
+            copy = tree.fresh_node()
+            bags[copy] = bags[node]
+            # splice: node keeps [keep, copy]; copy adopts the spill.
+            tree._children[node] = [keep, copy]
+            tree._children[copy] = spill
+            tree._parent[copy] = node
+            for child in spill:
+                tree._parent[child] = copy
+            node = copy  # continue splitting the spill if still > 2
+    return TreeDecomposition(tree, bags)
+
+
+def equalize_branches(td: TreeDecomposition) -> TreeDecomposition:
+    """Step (3): children of a 2-child node get bags identical to it."""
+    tree = td.tree.copy()
+    bags = dict(td.bags)
+    for node in list(tree.nodes()):
+        if len(tree.children(node)) != 2:
+            continue
+        for child in list(tree.children(node)):
+            if bags[child] != bags[node]:
+                mid = tree.insert_above(child)
+                bags[mid] = bags[node]
+    return TreeDecomposition(tree, bags)
+
+
+def interpolate_edges(td: TreeDecomposition) -> TreeDecomposition:
+    """Steps (4)+(5a): adjacent bags differ by at most one swap.
+
+    For a parent/child pair of full bags with symmetric difference of
+    size ``2d`` we insert ``d - 1`` interpolation nodes so that every
+    consecutive pair exchanges exactly one element.
+    """
+    tree = td.tree.copy()
+    bags = dict(td.bags)
+    for node in list(tree.nodes()):
+        for child in list(tree.children(node)):
+            outs = sorted(bags[node] - bags[child], key=repr)
+            ins = sorted(bags[child] - bags[node], key=repr)
+            if len(outs) != len(ins):
+                raise ValueError("bags must be padded before interpolation")
+            d = len(outs)
+            if d <= 1:
+                continue
+            chain = tree.insert_chain_above(child, d - 1)
+            current = bags[node]
+            for i, mid in enumerate(chain):
+                current = (current - {outs[i]}) | {ins[i]}
+                bags[mid] = current
+    return TreeDecomposition(tree, bags)
+
+
+def assign_tuples(td: TreeDecomposition) -> NormalizedTreeDecomposition:
+    """Step (5b): orient the set bags into Definition 2.3 tuples.
+
+    Walks top-down.  An edge whose bags swap ``p`` (out) for ``q`` (in)
+    becomes: permutation node bringing ``p`` to position 0, followed by
+    the replacement putting ``q`` at position 0.
+    """
+    tree = td.tree.copy()
+    bags = dict(td.bags)
+    tuples: dict[NodeId, tuple[Element, ...]] = {}
+    root = tree.root
+    tuples[root] = tuple(sorted(bags[root], key=repr))
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        here = tuples[node]
+        for child in list(tree.children(node)):
+            child_set = bags[child]
+            if child_set == frozenset(here):
+                tuples[child] = here
+            else:
+                (p,) = frozenset(here) - child_set
+                (q,) = child_set - frozenset(here)
+                if here[0] == p:
+                    tuples[child] = (q,) + here[1:]
+                else:
+                    fronted = (p,) + tuple(x for x in here if x != p)
+                    mid = tree.insert_above(child)
+                    bags[mid] = frozenset(fronted)
+                    tuples[mid] = fronted
+                    tuples[child] = (q,) + fronted[1:]
+            stack.append(child)
+    return NormalizedTreeDecomposition(tree, tuples)
+
+
+def normalize(td: TreeDecomposition) -> NormalizedTreeDecomposition:
+    """Full Proposition 2.4 pipeline; width is preserved exactly.
+
+    The input must be a valid tree decomposition (of anything); the
+    output satisfies Definition 2.3 and decomposes the same structure.
+    """
+    before = td.width
+    staged = interpolate_edges(
+        equalize_branches(binarize(pad_bags_to_full_size(td)))
+    )
+    result = assign_tuples(staged)
+    if result.width != before:
+        raise AssertionError(
+            f"normalization changed the width: {before} -> {result.width}"
+        )
+    return result

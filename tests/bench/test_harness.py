@@ -1,0 +1,53 @@
+"""Tests for the benchmark harness utilities."""
+
+import pytest
+
+from repro.bench import fit_linear, format_ms, format_table, time_ms
+
+
+class TestTiming:
+    def test_time_ms_positive(self):
+        assert time_ms(lambda: sum(range(1000))) > 0
+
+    def test_repeat_takes_best(self):
+        calls = []
+
+        def fn():
+            calls.append(1)
+
+        time_ms(fn, repeat=4)
+        assert len(calls) == 4
+
+
+class TestFormatting:
+    def test_format_ms_dash_for_none(self):
+        assert format_ms(None) == "-"
+
+    def test_format_ms_precision(self):
+        assert format_ms(0.123) == "0.1"
+        assert format_ms(123.4) == "123"
+
+    def test_format_table_aligns(self):
+        table = format_table(["a", "bb"], [[1, 2], [33, 444]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(map(len, lines))) == 1  # all lines equal width
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        fit = fit_linear([1, 2, 3, 4], [3, 5, 7, 9])
+        assert fit.slope == pytest.approx(2)
+        assert fit.intercept == pytest.approx(1)
+        assert fit.r_squared == pytest.approx(1)
+        assert fit.is_convincingly_linear
+
+    def test_noise_lowers_r_squared(self):
+        fit = fit_linear([1, 2, 3, 4], [1, 10, 2, 12])
+        assert fit.r_squared < 0.9
+
+    def test_degenerate_inputs_raise(self):
+        with pytest.raises(ValueError):
+            fit_linear([1], [1])
+        with pytest.raises(ValueError):
+            fit_linear([2, 2], [1, 3])

@@ -1,0 +1,81 @@
+"""Shared hypothesis strategies and settings for the test-suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings, strategies as st
+
+from repro.structures import FunctionalDependency, Graph, RelationalSchema
+
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def small_graphs(draw, max_vertices: int = 7):
+    """Random simple undirected graphs with up to ``max_vertices`` nodes."""
+    n = draw(st.integers(min_value=0, max_value=max_vertices))
+    graph = Graph(range(n))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    if possible:
+        chosen = draw(
+            st.lists(st.sampled_from(possible), unique=True, max_size=len(possible))
+        )
+        for u, v in chosen:
+            graph.add_edge(u, v)
+    return graph
+
+
+@st.composite
+def small_trees(draw, max_vertices: int = 9):
+    """Random labelled trees (treewidth <= 1)."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    graph = Graph(range(n))
+    for v in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=v - 1))
+        graph.add_edge(v, parent)
+    return graph
+
+
+@st.composite
+def small_schemas(draw, max_attrs: int = 6, max_fds: int = 5):
+    """Random relational schemas small enough for brute-force checking."""
+    n = draw(st.integers(min_value=1, max_value=max_attrs))
+    attrs = [chr(ord("a") + i) for i in range(n)]
+    num_fds = draw(st.integers(min_value=0, max_value=max_fds))
+    fds = []
+    for i in range(num_fds):
+        rhs = draw(st.sampled_from(attrs))
+        pool = [x for x in attrs if x != rhs]
+        if not pool:
+            continue
+        lhs_size = draw(st.integers(min_value=1, max_value=min(3, len(pool))))
+        lhs = frozenset(
+            draw(
+                st.lists(
+                    st.sampled_from(pool),
+                    min_size=lhs_size,
+                    max_size=lhs_size,
+                    unique=True,
+                )
+            )
+        )
+        fds.append(FunctionalDependency(f"f{i + 1}", lhs, rhs))
+    return RelationalSchema(attrs, fds)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xBEEF)

@@ -1,0 +1,170 @@
+"""End-to-end tests for the Theorem 4.5 compiler.
+
+The construction is exponential in the quantifier depth and the width
+(the paper says so explicitly), so the tests stay at k = 1 over
+undirected graphs and k <= 2 over a tiny unary signature -- enough to
+exercise every part of the construction: base cases, permutation /
+element-replacement / branch transitions, Θ↓, element selection, and
+the decision-variant simplification.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    CompilerLimitError,
+    compile_sentence,
+    compile_unary_query,
+    undirected_graph_filter,
+)
+from repro.datalog import is_quasi_guarded
+from repro.mso import ExistsInd, Not, RelAtom, And, evaluate, formulas, query
+from repro.structures import GRAPH_SIGNATURE, Graph, Signature, Structure, graph_to_structure
+
+from ..conftest import small_trees
+
+PSIG = Signature.of(p=1)
+
+
+@pytest.fixture(scope="module")
+def neighbor_query():
+    return compile_unary_query(
+        formulas.has_neighbor("x"),
+        GRAPH_SIGNATURE,
+        width=1,
+        free_var="x",
+        structure_filter=undirected_graph_filter,
+    )
+
+
+class TestCompiledProgramShape:
+    def test_is_monadic(self, neighbor_query):
+        assert neighbor_query.program.is_monadic()
+
+    def test_is_quasi_guarded(self, neighbor_query):
+        """Theorem 4.5 promises the quasi-guarded fragment."""
+        assert is_quasi_guarded(
+            neighbor_query.program, neighbor_query.dependencies()
+        )
+
+    def test_type_tables_populated(self, neighbor_query):
+        assert neighbor_query.up_type_count > 0
+        assert neighbor_query.down_type_count > 0
+
+    def test_metadata(self, neighbor_query):
+        assert neighbor_query.width == 1
+        assert neighbor_query.quantifier_depth == 1
+        assert not neighbor_query.is_sentence
+
+
+_NQ_CACHE: list = []
+
+
+def _cached_neighbor_query():
+    if not _NQ_CACHE:
+        _NQ_CACHE.append(
+            compile_unary_query(
+                formulas.has_neighbor("x"),
+                GRAPH_SIGNATURE,
+                width=1,
+                free_var="x",
+                structure_filter=undirected_graph_filter,
+            )
+        )
+    return _NQ_CACHE[0]
+
+
+class TestUnaryQueryCorrectness:
+    @given(small_trees(max_vertices=7))
+    @settings(max_examples=15, deadline=None)
+    def test_has_neighbor_on_random_trees(self, g):
+        nq = _cached_neighbor_query()
+        structure = graph_to_structure(g)
+        want = query(structure, formulas.has_neighbor("x"), "x")
+        from repro.core import ANSWER_PREDICATE, QuasiGuardedEvaluator
+        from repro.treewidth import (
+            decompose_structure,
+            encode_normalized,
+            normalize,
+            widen,
+        )
+
+        if len(structure.domain) < 2:
+            return
+        td = decompose_structure(structure)
+        if td.width < 1:
+            td = widen(td, 1)
+        encoded = encode_normalized(structure, normalize(td))
+        evaluator = QuasiGuardedEvaluator(nq.program, dependencies=nq.dependencies())
+        got = evaluator.evaluate(encoded).unary_answers(ANSWER_PREDICATE)
+        assert got == want
+
+
+class TestSentenceVariant:
+    def test_decision_simplification_over_unary_signature(self):
+        """∃x (p(x) ∧ ∃y ¬p(y)) -- depth 2, tiny signature."""
+        sentence = ExistsInd(
+            "x", And(RelAtom("p", ("x",)), ExistsInd("y", Not(RelAtom("p", ("y",)))))
+        )
+        compiled = compile_sentence(sentence, PSIG, width=1)
+        assert compiled.is_sentence
+        assert compiled.down_type_count == 0  # Θ↓ skipped for sentences
+        assert any(r.head.predicate == "phi" for r in compiled.program.rules)
+
+    def test_sentence_correctness(self):
+        import random
+
+        from repro.core import ANSWER_PREDICATE, QuasiGuardedEvaluator
+        from repro.treewidth import (
+            decompose_structure,
+            encode_normalized,
+            normalize,
+            widen,
+        )
+
+        sentence = ExistsInd(
+            "x", And(RelAtom("p", ("x",)), ExistsInd("y", Not(RelAtom("p", ("y",)))))
+        )
+        compiled = compile_sentence(sentence, PSIG, width=1)
+        evaluator = QuasiGuardedEvaluator(
+            compiled.program, dependencies=compiled.dependencies()
+        )
+        rng = random.Random(11)
+        for _ in range(6):
+            n = rng.randint(2, 6)
+            dom = list(range(n))
+            pset = {(x,) for x in dom if rng.random() < 0.5}
+            structure = Structure(PSIG, dom, {"p": pset})
+            want = evaluate(structure, sentence)
+            td = decompose_structure(structure)
+            if td.width < 1:
+                td = widen(td, 1)
+            encoded = encode_normalized(structure, normalize(td))
+            assert evaluator.evaluate(encoded).holds(ANSWER_PREDICATE) == want
+
+
+class TestLimits:
+    def test_max_types_raises(self):
+        with pytest.raises(CompilerLimitError):
+            compile_unary_query(
+                formulas.has_neighbor("x"),
+                GRAPH_SIGNATURE,
+                width=1,
+                max_types=3,
+                structure_filter=undirected_graph_filter,
+            )
+
+    def test_width_zero_rejected(self):
+        with pytest.raises(ValueError):
+            compile_unary_query(formulas.has_neighbor("x"), GRAPH_SIGNATURE, width=0)
+
+    def test_unfiltered_graph_compilation_exceeds_small_budget(self):
+        """Without the class filter the type space explodes -- the very
+        state explosion the paper describes (Sections 1, 6)."""
+        with pytest.raises(CompilerLimitError):
+            compile_unary_query(
+                formulas.has_neighbor("x"),
+                GRAPH_SIGNATURE,
+                width=1,
+                max_types=200,
+            )

@@ -1,0 +1,112 @@
+"""Unit tests for the datalog AST."""
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    Constant,
+    Literal,
+    Program,
+    Rule,
+    Variable,
+    atom,
+    neg,
+    pos,
+    rule,
+    var,
+)
+from repro.structures import Fact
+
+
+class TestTerms:
+    def test_variable_str(self):
+        assert str(Variable("X")) == "X"
+
+    def test_constant_str_frozenset(self):
+        assert str(Constant(frozenset({"b", "a"}))) == "{a,b}"
+
+    def test_constant_str_tuple(self):
+        assert str(Constant(("a", "b"))) == "<a,b>"
+
+    def test_atom_rejects_non_terms(self):
+        with pytest.raises(TypeError):
+            Atom("p", ("raw",))
+
+
+class TestAtoms:
+    def test_helper_wraps_constants(self):
+        a = atom("p", var("X"), 3)
+        assert a.args == (Variable("X"), Constant(3))
+
+    def test_is_ground(self):
+        assert atom("p", 1, 2).is_ground()
+        assert not atom("p", var("X")).is_ground()
+
+    def test_substitute(self):
+        a = atom("p", var("X"), var("Y"))
+        b = a.substitute({Variable("X"): Constant(1)})
+        assert b == atom("p", 1, var("Y"))
+
+    def test_to_fact_roundtrip(self):
+        f = Fact("p", (1, 2))
+        assert Atom.from_fact(f).to_fact() == f
+
+    def test_to_fact_nonground_raises(self):
+        with pytest.raises(ValueError):
+            atom("p", var("X")).to_fact()
+
+    def test_variables(self):
+        a = atom("p", var("X"), 1, var("Y"))
+        assert {v.name for v in a.variables()} == {"X", "Y"}
+
+
+class TestRulesAndPrograms:
+    def test_rule_str(self):
+        r = rule(atom("q", var("X")), pos("p", var("X")), neg("r", var("X")))
+        assert str(r) == "q(X) :- p(X), not r(X)."
+
+    def test_fact_rule(self):
+        r = Rule(atom("p", 1))
+        assert r.is_fact()
+        assert str(r) == "p(1)."
+
+    def test_rule_variables(self):
+        r = rule(atom("q", var("X")), pos("p", var("X"), var("Y")))
+        assert {v.name for v in r.variables()} == {"X", "Y"}
+
+    def test_intensional_extensional_split(self):
+        p = Program(
+            [
+                rule(atom("q", var("X")), pos("p", var("X"))),
+                rule(atom("r", var("X")), pos("q", var("X")), pos("s", var("X"))),
+            ]
+        )
+        assert p.intensional_predicates() == {"q", "r"}
+        assert p.extensional_predicates() == {"p", "s"}
+
+    def test_builtins_excluded_from_extensional(self):
+        p = Program(
+            [rule(atom("q", var("X")), pos("p", var("X")), pos("eq", var("X"), 1))],
+            builtin_names=("eq",),
+        )
+        assert p.extensional_predicates() == {"p"}
+
+    def test_builtin_head_clash_raises(self):
+        with pytest.raises(ValueError):
+            Program([rule(atom("eq", 1, 1))], builtin_names=("eq",))
+
+    def test_is_monadic(self):
+        monadic = Program([rule(atom("q", var("X")), pos("p", var("X"), var("Y")))])
+        assert monadic.is_monadic()
+        binary = Program([rule(atom("q", var("X"), var("Y")), pos("p", var("X"), var("Y")))])
+        assert not binary.is_monadic()
+
+    def test_size_counts_literals(self):
+        p = Program([rule(atom("q", var("X")), pos("p", var("X")), pos("r", var("X")))])
+        assert p.size() == 3
+
+    def test_program_iteration(self):
+        r = rule(atom("q"),)
+        p = Program([r])
+        assert list(p) == [r]
+        assert len(p) == 1

@@ -1,0 +1,145 @@
+"""Tests for the built-in predicates (the paper's set operators)."""
+
+import pytest
+
+from repro.datalog import BuiltinRegistry, UNBOUND, make_check, make_function, standard_registry
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return standard_registry()
+
+
+def solutions(registry, name, slots):
+    return list(registry.get(name).evaluate(tuple(slots)))
+
+
+class TestAdd:
+    """``add(S, V, T)`` realizes the paper's disjoint union S ⊎ {V}."""
+
+    def test_forward(self, registry):
+        [(s, v, t)] = solutions(registry, "add", (frozenset({1}), 2, UNBOUND))
+        assert t == frozenset({1, 2})
+
+    def test_forward_rejects_member(self, registry):
+        assert solutions(registry, "add", (frozenset({1}), 1, UNBOUND)) == []
+
+    def test_backward_enumerates_splits(self, registry):
+        got = solutions(registry, "add", (UNBOUND, UNBOUND, frozenset({1, 2})))
+        assert len(got) == 2
+        assert all(s | {v} == frozenset({1, 2}) and v not in s for s, v, _ in got)
+
+    def test_backward_with_v_bound(self, registry):
+        got = solutions(registry, "add", (UNBOUND, 1, frozenset({1, 2})))
+        assert got == [(frozenset({2}), 1, frozenset({1, 2}))]
+
+    def test_insufficient_binding_raises(self, registry):
+        with pytest.raises(ValueError):
+            solutions(registry, "add", (frozenset(), UNBOUND, UNBOUND))
+
+
+class TestSubset:
+    def test_check(self, registry):
+        assert solutions(registry, "subset", (frozenset({1}), frozenset({1, 2})))
+        assert not solutions(registry, "subset", (frozenset({3}), frozenset({1})))
+
+    def test_enumerate(self, registry):
+        got = solutions(registry, "subset", (UNBOUND, frozenset({1, 2})))
+        assert len(got) == 4
+
+
+class TestPartitions:
+    def test_partition2_enumerates(self, registry):
+        got = solutions(
+            registry, "partition2", (frozenset({1, 2}), UNBOUND, UNBOUND)
+        )
+        assert len(got) == 4
+        for x, y, z in got:
+            assert y | z == x and not (y & z)
+
+    def test_partition2_with_y_bound(self, registry):
+        [(x, y, z)] = solutions(
+            registry, "partition2", (frozenset({1, 2}), frozenset({1}), UNBOUND)
+        )
+        assert z == frozenset({2})
+
+    def test_partition3_counts(self, registry):
+        got = solutions(
+            registry,
+            "partition3",
+            (frozenset({1, 2}), UNBOUND, UNBOUND, UNBOUND),
+        )
+        assert len(got) == 9
+        for x, r, g, b in got:
+            assert r | g | b == x
+            assert not (r & g) and not (r & b) and not (g & b)
+
+
+class TestOrderedSets:
+    def test_oinsert_enumerates_positions(self, registry):
+        got = solutions(registry, "oinsert", ((1, 2), 3, UNBOUND))
+        results = {t for _, _, t in got}
+        assert results == {(3, 1, 2), (1, 3, 2), (1, 2, 3)}
+
+    def test_oinsert_backward(self, registry):
+        got = solutions(registry, "oinsert", (UNBOUND, UNBOUND, (1, 2)))
+        assert {(c, v) for c, v, _ in got} == {((2,), 1), ((1,), 2)}
+
+    def test_oinsert_rejects_duplicate(self, registry):
+        assert solutions(registry, "oinsert", ((1,), 1, UNBOUND)) == []
+
+    def test_osubsets(self, registry):
+        got = solutions(registry, "osubsets", (frozenset({1, 2}), UNBOUND))
+        arrangements = {c for _, c in got}
+        assert arrangements == {(), (1,), (2,), (1, 2), (2, 1)}
+
+
+class TestChecksAndFunctions:
+    def test_checks(self, registry):
+        assert solutions(registry, "member", (1, frozenset({1})))
+        assert solutions(registry, "not_member", (2, frozenset({1})))
+        assert solutions(registry, "disjoint", (frozenset({1}), frozenset({2})))
+        assert solutions(registry, "empty", (frozenset(),))
+        assert not solutions(registry, "empty", (frozenset({1}),))
+
+    def test_functions(self, registry):
+        [(a, b, c)] = solutions(
+            registry, "union", (frozenset({1}), frozenset({2}), UNBOUND)
+        )
+        assert c == frozenset({1, 2})
+        [(a, b, c)] = solutions(
+            registry, "setminus", (frozenset({1, 2}), frozenset({2}), UNBOUND)
+        )
+        assert c == frozenset({1})
+        [(a, b)] = solutions(registry, "oset_to_set", ((2, 1), UNBOUND))
+        assert b == frozenset({1, 2})
+
+    def test_function_checks_bound_output(self, registry):
+        assert solutions(
+            registry, "union", (frozenset({1}), frozenset(), frozenset({1}))
+        )
+        assert not solutions(
+            registry, "union", (frozenset({1}), frozenset(), frozenset({2}))
+        )
+
+
+class TestRegistry:
+    def test_duplicate_registration_raises(self):
+        registry = BuiltinRegistry([make_check("t", 1, bool)])
+        with pytest.raises(ValueError):
+            registry.register(make_check("t", 1, bool))
+
+    def test_contains_and_names(self, registry):
+        assert "add" in registry
+        assert "nonexistent" not in registry
+        assert "union" in registry.names()
+
+    def test_arity_mismatch_raises(self, registry):
+        with pytest.raises(ValueError):
+            solutions(registry, "add", (1, 2))
+
+    def test_custom_function_builtin(self):
+        double = make_function("double", 2, lambda x: x * 2)
+        assert list(double.evaluate((3, UNBOUND))) == [(3, 6)]
+        assert list(double.evaluate((3, 6))) == [(3, 6)]
+        assert list(double.evaluate((3, 7))) == []

@@ -1,0 +1,98 @@
+"""Tests for quasi-guardedness (Definition 4.3)."""
+
+from repro.datalog import (
+    KeyDependency,
+    find_quasi_guard,
+    is_quasi_guarded,
+    parse_program,
+    parse_rule,
+    quasi_guard_report,
+    td_key_dependencies,
+)
+
+DEPS = td_key_dependencies(4)  # bag arity for w = 2
+
+
+class TestFindQuasiGuard:
+    def test_bag_guards_its_variables(self):
+        r = parse_rule("t(V) :- bag(V, X0, X1, X2), leaf(V).")
+        guard = find_quasi_guard(r, frozenset({"bag", "leaf"}), DEPS)
+        assert guard is not None and guard.predicate == "bag"
+
+    def test_child_variable_reached_through_key(self):
+        """The proof of Theorem 4.5: v1, v2 functionally depend on v via
+        child1/child2."""
+        r = parse_rule(
+            "t(V) :- bag(V, X0, X1, X2), child1(V1, V), child2(V2, V), "
+            "up(V1), up(V2)."
+        )
+        guard = find_quasi_guard(r, frozenset({"bag", "child1", "child2"}), DEPS)
+        assert guard is not None
+
+    def test_without_dependencies_no_guard(self):
+        r = parse_rule(
+            "t(V) :- bag(V, X0, X1, X2), child1(V1, V), up(V1)."
+        )
+        assert find_quasi_guard(r, frozenset({"bag", "child1"}), ()) is None
+
+    def test_unrelated_variable_blocks(self):
+        r = parse_rule("t(V) :- bag(V, X0, X1, X2), up(W).")
+        assert find_quasi_guard(r, frozenset({"bag"}), DEPS) is None
+
+    def test_negative_literals_cannot_guard(self):
+        r = parse_rule("t(V) :- not bag(V, X0, X1, X2), leaf(V).")
+        assert find_quasi_guard(r, frozenset({"bag", "leaf"}), DEPS) is None
+
+
+class TestIsQuasiGuarded:
+    def test_theorem_45_style_program(self):
+        prog = parse_program(
+            """
+            up1(V) :- bag(V, X0, X1, X2), leaf(V), e(X0, X1).
+            up2(V) :- bag(V, X0, X1, X2), child1(V1, V), up1(V1),
+                      bag(V1, X0, X1, X2).
+            phi :- root(V), up2(V).
+            """
+        )
+        assert is_quasi_guarded(prog, DEPS)
+
+    def test_transitive_closure_is_not(self):
+        prog = parse_program(
+            """
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- path(X, Y), edge(Y, Z).
+            """
+        )
+        assert not is_quasi_guarded(prog)
+
+    def test_ground_rules_trivially_guarded(self):
+        prog = parse_program("a :- b. b.")
+        assert is_quasi_guarded(prog)
+
+    def test_report_partitions(self):
+        prog = parse_program(
+            """
+            good(V) :- bag(V, X0, X1, X2).
+            bad(X) :- bad(Y), helper(X).
+            """
+        )
+        report = quasi_guard_report(prog, DEPS)
+        assert len(report["guarded"]) == 1
+        assert len(report["unguarded"]) == 1
+
+
+class TestKeyDependencies:
+    def test_td_dependencies_shape(self):
+        deps = td_key_dependencies(5)
+        bag_deps = [d for d in deps if d.predicate == "bag"]
+        assert bag_deps[0].determinants == (0,)
+        assert bag_deps[0].dependents == (1, 2, 3, 4)
+        child = [d for d in deps if d.predicate == "child1"]
+        assert len(child) == 2  # both directions
+
+    def test_dependency_with_out_of_range_positions_ignored(self):
+        # a dependency for arity-6 bags cannot fire on an arity-3 atom
+        deps = (KeyDependency("bag", (0,), (1, 2, 3, 4, 5)),)
+        r = parse_rule("t(V) :- bag(V, X0, X1).")
+        guard = find_quasi_guard(r, frozenset({"bag"}), deps)
+        assert guard is not None  # guarded directly, dependency unused

@@ -1,0 +1,74 @@
+"""Tests for the linear-time propositional Horn solver (LTUR)."""
+
+from hypothesis import given, strategies as st
+
+from repro.datalog import GroundRule, horn_entails, horn_least_model
+
+
+class TestLeastModel:
+    def test_facts_only(self):
+        model = horn_least_model([GroundRule("a"), GroundRule("b")])
+        assert model == {"a", "b"}
+
+    def test_chain(self):
+        rules = [GroundRule("a")] + [
+            GroundRule(chr(ord("a") + i + 1), (chr(ord("a") + i),))
+            for i in range(5)
+        ]
+        assert horn_least_model(rules) == set("abcdef")
+
+    def test_conjunction_waits_for_all(self):
+        rules = [GroundRule("c", ("a", "b")), GroundRule("a")]
+        assert horn_least_model(rules) == {"a"}
+        rules.append(GroundRule("b"))
+        assert horn_least_model(rules) == {"a", "b", "c"}
+
+    def test_cycle_not_self_supporting(self):
+        rules = [GroundRule("a", ("b",)), GroundRule("b", ("a",))]
+        assert horn_least_model(rules) == set()
+
+    def test_duplicate_body_atoms(self):
+        rules = [GroundRule("b", ("a", "a")), GroundRule("a")]
+        assert horn_least_model(rules) == {"a", "b"}
+
+    def test_empty(self):
+        assert horn_least_model([]) == set()
+
+    def test_entails(self):
+        rules = [GroundRule("a"), GroundRule("b", ("a",))]
+        assert horn_entails(rules, "b")
+        assert not horn_entails(rules, "c")
+
+    def test_atoms_may_be_any_hashable(self):
+        from repro.structures import Fact
+
+        head = Fact("p", (1,))
+        body = Fact("q", (2,))
+        rules = [GroundRule(head, (body,)), GroundRule(body)]
+        assert horn_least_model(rules) == {head, body}
+
+
+def naive_least_model(rules):
+    derived = set()
+    changed = True
+    while changed:
+        changed = False
+        for r in rules:
+            if r.head not in derived and all(b in derived for b in r.body):
+                derived.add(r.head)
+                changed = True
+    return derived
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 8),
+            st.lists(st.integers(0, 8), max_size=3),
+        ),
+        max_size=25,
+    )
+)
+def test_ltur_equals_naive_fixpoint(raw_rules):
+    rules = [GroundRule(h, tuple(b)) for h, b in raw_rules]
+    assert horn_least_model(rules) == naive_least_model(rules)

@@ -1,0 +1,96 @@
+"""Tests for the textual datalog syntax."""
+
+import pytest
+
+from repro.datalog import (
+    Constant,
+    ParseError,
+    Variable,
+    parse_atom,
+    parse_program,
+    parse_rule,
+)
+
+
+class TestTerms:
+    def test_uppercase_is_variable(self):
+        a = parse_atom("p(X, y)")
+        assert a.args == (Variable("X"), Constant("y"))
+
+    def test_underscore_is_variable(self):
+        a = parse_atom("p(_x)")
+        assert a.args == (Variable("_x"),)
+
+    def test_numbers(self):
+        a = parse_atom("p(42, -3)")
+        assert a.args == (Constant(42), Constant(-3))
+
+    def test_strings(self):
+        a = parse_atom('p("hello world")')
+        assert a.args == (Constant("hello world"),)
+
+    def test_zero_arity(self):
+        assert parse_atom("success").args == ()
+
+
+class TestRules:
+    def test_fact(self):
+        r = parse_rule("edge(a, b).")
+        assert r.is_fact()
+
+    def test_basic_rule(self):
+        r = parse_rule("path(X, Y) :- edge(X, Y).")
+        assert r.head.predicate == "path"
+        assert len(r.body) == 1
+
+    def test_negation(self):
+        r = parse_rule("safe(X) :- node(X), not bad(X).")
+        assert not r.body[1].positive
+
+    def test_comparison_sugar(self):
+        r = parse_rule("diff(X, Y) :- p(X), p(Y), X != Y.")
+        assert r.body[2].atom.predicate == "neq"
+
+    def test_all_operators(self):
+        p = parse_program(
+            """
+            a(X) :- n(X), X = 1.
+            b(X) :- n(X), X != 1.
+            c(X) :- n(X), X < 2.
+            d(X) :- n(X), X <= 2.
+            """
+        )
+        ops = {r.body[1].atom.predicate for r in p.rules}
+        assert ops == {"eq", "neq", "lt", "le"}
+        assert {"eq", "neq", "lt", "le"} <= set(p.builtin_names)
+
+    def test_comments_ignored(self):
+        p = parse_program(
+            """
+            % transitive closure
+            path(X, Y) :- edge(X, Y).  % base
+            path(X, Z) :- path(X, Y), edge(Y, Z).
+            """
+        )
+        assert len(p.rules) == 2
+
+    def test_missing_dot_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("p(X) :- q(X)")
+
+    def test_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("p(X) :- @q(X).")
+
+    def test_parse_rule_requires_exactly_one(self):
+        with pytest.raises(ParseError):
+            parse_rule("a. b.")
+
+    def test_roundtrip_via_str(self):
+        text = "path(X, Z) :- path(X, Y), edge(Y, Z)."
+        r = parse_rule(text)
+        assert parse_rule(str(r)) == r
+
+    def test_number_comparison_literal(self):
+        r = parse_rule("p(X) :- q(X), 1 < 2.")
+        assert r.body[1].atom.predicate == "lt"

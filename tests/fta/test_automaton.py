@@ -1,0 +1,110 @@
+"""Tests for bottom-up finite tree automata."""
+
+import pytest
+
+from repro.fta import LabeledTree, TreeAutomaton
+
+
+def leaf(label="a"):
+    return LabeledTree(label)
+
+
+def node(label, *children):
+    return LabeledTree(label, tuple(children))
+
+
+@pytest.fixture
+def parity_automaton():
+    """Accepts trees with an odd number of 'x' leaves (binary 'n' nodes)."""
+    transitions = {
+        ("x",): {"odd"},
+        ("o",): {"even"},
+        ("n", "odd", "odd"): {"even"},
+        ("n", "even", "even"): {"even"},
+        ("n", "odd", "even"): {"odd"},
+        ("n", "even", "odd"): {"odd"},
+    }
+    return TreeAutomaton({"odd", "even"}, {"odd"}, transitions)
+
+
+class TestLabeledTree:
+    def test_size_and_depth(self):
+        t = node("n", leaf("x"), node("n", leaf("x"), leaf("o")))
+        assert t.size() == 5
+        assert t.depth() == 3
+        assert list(t.labels()).count("x") == 2
+
+    def test_rejects_ternary(self):
+        with pytest.raises(ValueError):
+            LabeledTree("n", (leaf(), leaf(), leaf()))
+
+
+class TestRuns:
+    def test_accepts_odd(self, parity_automaton):
+        assert parity_automaton.accepts(leaf("x"))
+        assert parity_automaton.accepts(
+            node("n", leaf("x"), node("n", leaf("x"), leaf("x")))
+        )
+
+    def test_rejects_even(self, parity_automaton):
+        assert not parity_automaton.accepts(leaf("o"))
+        assert not parity_automaton.accepts(node("n", leaf("x"), leaf("x")))
+
+    def test_missing_transition_rejects(self, parity_automaton):
+        assert not parity_automaton.accepts(leaf("unknown"))
+
+    def test_run_states(self, parity_automaton):
+        assert parity_automaton.run_states(leaf("x")) == frozenset({"odd"})
+
+    def test_nondeterministic_union(self):
+        fta = TreeAutomaton(
+            {"q1", "q2"},
+            {"q2"},
+            {("a",): {"q1", "q2"}, ("f", "q1"): {"q1"}},
+        )
+        assert fta.accepts(leaf("a"))  # via q2
+        assert not fta.accepts(node("f", leaf("a")))  # q2 dies, q1 not accepting
+
+
+class TestValidation:
+    def test_unknown_accepting_state_rejected(self):
+        with pytest.raises(ValueError):
+            TreeAutomaton({"q"}, {"r"}, {})
+
+    def test_unknown_transition_target_rejected(self):
+        with pytest.raises(ValueError):
+            TreeAutomaton({"q"}, set(), {("a",): {"zz"}})
+
+
+class TestDeterminization:
+    def test_preserves_language(self, parity_automaton):
+        det = parity_automaton.determinize()
+        trees = [
+            leaf("x"),
+            leaf("o"),
+            node("n", leaf("x"), leaf("o")),
+            node("n", leaf("x"), leaf("x")),
+            node("n", node("n", leaf("x"), leaf("x")), leaf("x")),
+        ]
+        for t in trees:
+            assert det.accepts(t) == parity_automaton.accepts(t)
+
+    def test_deterministic_runs_are_singletons(self, parity_automaton):
+        det = parity_automaton.determinize()
+        t = node("n", leaf("x"), leaf("o"))
+        assert len(det.run_states(t)) == 1
+
+    def test_subset_blowup_possible(self):
+        """Determinisation can grow the state count -- the mechanism
+        behind the paper's 'state explosion' (Section 1)."""
+        nfa = TreeAutomaton(
+            {"a1", "a2", "b"},
+            {"b"},
+            {
+                ("l",): {"a1", "a2"},
+                ("u", "a1"): {"a1", "b"},
+                ("u", "a2"): {"a2"},
+            },
+        )
+        det = nfa.determinize()
+        assert det.state_count() >= nfa.state_count()

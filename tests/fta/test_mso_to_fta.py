@@ -1,0 +1,88 @@
+"""Tests for the MSO-to-FTA baseline route."""
+
+import random
+
+import pytest
+
+from repro.fta import (
+    FTAConstructionBudgetExceeded,
+    build_type_automaton,
+    decomposition_to_tree,
+)
+from repro.mso import And, ExistsInd, Not, RelAtom, evaluate
+from repro.structures import Signature, Structure
+from repro.treewidth import decompose_structure, encode_normalized, normalize, widen
+
+PSIG = Signature.of(p=1)
+SENTENCE = ExistsInd(
+    "x", And(RelAtom("p", ("x",)), ExistsInd("y", Not(RelAtom("p", ("y",)))))
+)
+
+
+@pytest.fixture(scope="module")
+def automaton():
+    return build_type_automaton(SENTENCE, PSIG, width=1)
+
+
+class TestConstruction:
+    def test_states_are_types_with_accepting_subset(self, automaton):
+        assert 0 < len(automaton.accepting) < automaton.state_count()
+
+    def test_budget_raises(self):
+        with pytest.raises(FTAConstructionBudgetExceeded):
+            build_type_automaton(SENTENCE, PSIG, width=1, max_states=3)
+
+
+class TestAgreement:
+    def test_matches_direct_evaluation(self, automaton):
+        rng = random.Random(99)
+        for _ in range(10):
+            n = rng.randint(2, 6)
+            dom = list(range(n))
+            pset = {(x,) for x in dom if rng.random() < 0.5}
+            structure = Structure(PSIG, dom, {"p": pset})
+            want = evaluate(structure, SENTENCE)
+            td = decompose_structure(structure)
+            if td.width < 1:
+                td = widen(td, 1)
+            ntd = normalize(td)
+            tree = decomposition_to_tree(structure, ntd)
+            assert automaton.accepts(tree) == want
+
+    def test_matches_compiled_datalog(self, automaton):
+        """FTA route == Theorem 4.5 route on the same inputs."""
+        from repro.core import (
+            ANSWER_PREDICATE,
+            QuasiGuardedEvaluator,
+            compile_sentence,
+        )
+
+        compiled = compile_sentence(SENTENCE, PSIG, width=1)
+        evaluator = QuasiGuardedEvaluator(
+            compiled.program, dependencies=compiled.dependencies()
+        )
+        rng = random.Random(5)
+        for _ in range(6):
+            n = rng.randint(2, 6)
+            dom = list(range(n))
+            pset = {(x,) for x in dom if rng.random() < 0.4}
+            structure = Structure(PSIG, dom, {"p": pset})
+            td = decompose_structure(structure)
+            if td.width < 1:
+                td = widen(td, 1)
+            ntd = normalize(td)
+            datalog_answer = evaluator.evaluate(
+                encode_normalized(structure, ntd)
+            ).holds(ANSWER_PREDICATE)
+            fta_answer = automaton.accepts(
+                decomposition_to_tree(structure, ntd)
+            )
+            assert datalog_answer == fta_answer
+
+    def test_state_count_matches_compiler_up_table(self):
+        """Both routes enumerate the same Θ↑ type space."""
+        from repro.core import compile_sentence
+
+        compiled = compile_sentence(SENTENCE, PSIG, width=1)
+        automaton = build_type_automaton(SENTENCE, PSIG, width=1)
+        assert automaton.state_count() == compiled.up_type_count

@@ -1,0 +1,58 @@
+"""Tests for the decomposition-to-labeled-tree encoding."""
+
+from repro.fta import bag_pattern, decomposition_to_tree
+from repro.structures import Graph, graph_to_structure
+from repro.treewidth import decompose_graph, normalize
+from repro.treewidth.normalize import NormalizedNodeKind
+
+
+def encoded(graph):
+    structure = graph_to_structure(graph)
+    ntd = normalize(decompose_graph(graph))
+    return structure, ntd, decomposition_to_tree(structure, ntd)
+
+
+class TestBagPattern:
+    def test_pattern_abstracts_to_positions(self):
+        s = graph_to_structure(Graph.path(2))
+        pattern = bag_pattern(s, (0, 1))
+        assert ("e", (0, 1)) in pattern
+        assert ("e", (1, 0)) in pattern
+        assert ("e", (0, 0)) not in pattern
+
+    def test_pattern_is_label_invariant(self):
+        s1 = graph_to_structure(Graph(vertices=[0, 1], edges=[(0, 1)]))
+        s2 = graph_to_structure(Graph(vertices=["u", "v"], edges=[("u", "v")]))
+        assert bag_pattern(s1, (0, 1)) == bag_pattern(s2, ("u", "v"))
+
+
+class TestTreeShape:
+    def test_node_count_matches(self):
+        _, ntd, tree = encoded(Graph.cycle(6))
+        assert tree.size() == ntd.node_count()
+
+    def test_labels_match_node_kinds(self):
+        _, ntd, tree = encoded(Graph.grid(2, 3))
+        kinds = {ntd.node_kind(n) for n in ntd.tree.nodes()}
+        labels = {lbl[0] for lbl in tree.labels()}
+        expected = set()
+        if NormalizedNodeKind.LEAF in kinds:
+            expected.add("leaf")
+        if NormalizedNodeKind.BRANCH in kinds:
+            expected.add("branch")
+        if NormalizedNodeKind.PERMUTATION in kinds:
+            expected.add("perm")
+        if NormalizedNodeKind.ELEMENT_REPLACEMENT in kinds:
+            expected.add("repl")
+        assert labels == expected
+
+    def test_perm_label_orients_parent_from_child(self):
+        _, ntd, _ = encoded(Graph.cycle(5))
+        structure = graph_to_structure(Graph.cycle(5))
+        for n in ntd.tree.nodes():
+            if ntd.node_kind(n) is NormalizedNodeKind.PERMUTATION:
+                (child,) = ntd.tree.children(n)
+                child_bag, bag = ntd.bag(child), ntd.bag(n)
+                position = {x: i for i, x in enumerate(child_bag)}
+                pi = tuple(position[x] for x in bag)
+                assert tuple(child_bag[pi[i]] for i in range(len(pi))) == bag

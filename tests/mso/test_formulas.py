@@ -1,0 +1,78 @@
+"""Tests for the MSO formula library."""
+
+from repro.mso import evaluate, formulas, query
+from repro.structures import Graph, RelationalSchema, graph_to_structure, running_example
+
+
+class TestThreeColorability:
+    def test_known_graphs(self):
+        for g, expect in [
+            (Graph.cycle(4), True),
+            (Graph.cycle(5), True),
+            (Graph.complete(3), True),
+            (Graph.complete(4), False),
+            (Graph.grid(2, 3), True),
+            (Graph(vertices=[0], edges=[(0, 0)]), False),  # self-loop
+        ]:
+            assert evaluate(graph_to_structure(g), formulas.three_colorability()) == expect
+
+    def test_empty_graph_colorable(self):
+        g = Graph(vertices=[0, 1, 2])
+        assert evaluate(graph_to_structure(g), formulas.three_colorability())
+
+
+class TestPrimality:
+    def test_running_example(self):
+        s = running_example().to_structure()
+        assert query(s, formulas.primality("x"), "x") == frozenset("abcd")
+
+    def test_schema_with_no_fds_every_attribute_prime(self):
+        s = RelationalSchema.parse("R = abc;").to_structure()
+        assert query(s, formulas.primality("x"), "x") == frozenset("abc")
+
+    def test_single_key_schema(self):
+        s = RelationalSchema.parse("R = ab; a -> b").to_structure()
+        assert query(s, formulas.primality("x"), "x") == frozenset("a")
+
+    def test_closed_macro(self):
+        """Closed(Y) is exactly Y+ = Y on the running example."""
+        schema = running_example()
+        s = schema.to_structure()
+        cases = [frozenset(), frozenset("bc"), frozenset("bcdeg"), frozenset("c")]
+        for y in cases:
+            assert evaluate(s, formulas.closed("Y"), sets={"Y": y}) == (
+                schema.is_closed(y)
+            )
+
+
+class TestSmallQueries:
+    def test_has_neighbor(self):
+        g = Graph(vertices=[0, 1, 2], edges=[(0, 1)])
+        s = graph_to_structure(g)
+        assert query(s, formulas.has_neighbor("x"), "x") == frozenset({0, 1})
+
+    def test_isolated_complements_has_neighbor_on_simple_graphs(self):
+        g = Graph(vertices=[0, 1, 2, 3], edges=[(0, 1), (1, 2)])
+        s = graph_to_structure(g)
+        nb = query(s, formulas.has_neighbor("x"), "x")
+        iso = query(s, formulas.isolated("x"), "x")
+        assert nb | iso == s.domain and not (nb & iso)
+
+    def test_has_self_loop(self):
+        g = Graph(vertices=[0, 1], edges=[(0, 0)])
+        s = graph_to_structure(g)
+        assert query(s, formulas.has_self_loop("x"), "x") == frozenset({0})
+
+    def test_some_edge(self):
+        assert evaluate(
+            graph_to_structure(Graph.path(2)), formulas.some_edge()
+        )
+        assert not evaluate(
+            graph_to_structure(Graph(vertices=[0, 1])), formulas.some_edge()
+        )
+
+    def test_in_some_left_hand_side(self):
+        # the attributes appearing on some lhs in Example 2.1: a,b,c,d,e,g
+        s = running_example().to_structure()
+        got = query(s, formulas.in_some_left_hand_side("x"), "x")
+        assert got == frozenset("abcdeg")

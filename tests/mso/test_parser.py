@@ -1,0 +1,120 @@
+"""Tests for the textual MSO syntax."""
+
+import pytest
+
+from repro.mso import And, Const, Eq, ExistsInd, ExistsSet, ForallInd, In, Not, evaluate
+from repro.mso.parser import MSOParseError, parse_formula
+from repro.structures import Graph, graph_to_structure, running_example
+
+
+class TestAtoms:
+    def test_relation_atom(self):
+        f = parse_formula("e(x, y)")
+        assert f.free_individual_vars() == {"x", "y"}
+
+    def test_equality_and_disequality(self):
+        assert isinstance(parse_formula("x = y"), Eq)
+        f = parse_formula("x != y")
+        assert isinstance(f, Not) and isinstance(f.body, Eq)
+
+    def test_membership(self):
+        f = parse_formula("x in X")
+        assert isinstance(f, In)
+        g = parse_formula("x notin X")
+        assert isinstance(g, Not)
+
+    def test_membership_needs_set_variable(self):
+        with pytest.raises(MSOParseError):
+            parse_formula("x in y")
+
+    def test_constants(self):
+        f = parse_formula('e("a", x)')
+        assert Const("a") in f.args
+
+    def test_subset_sugar_desugars(self):
+        f = parse_formula("X <= Y")
+        assert f.quantifier_depth() == 1
+        g = parse_formula("X < Y")
+        assert g.quantifier_depth() == 1
+
+
+class TestConnectives:
+    def test_precedence_and_over_or(self):
+        f = parse_formula("p(x) | q(x) & r(x)")
+        # parses as p | (q & r)
+        assert str(f).startswith("(p(x) ∨")
+
+    def test_implication_right_associative(self):
+        f = parse_formula("p(x) -> q(x) -> r(x)")
+        assert str(f) == "(p(x) → (q(x) → r(x)))"
+
+    def test_negation(self):
+        f = parse_formula("~p(x)")
+        assert isinstance(f, Not)
+
+    def test_parentheses_override(self):
+        f = parse_formula("(p(x) | q(x)) & r(x)")
+        assert isinstance(f, And)
+
+
+class TestQuantifiers:
+    def test_individual(self):
+        f = parse_formula("EX x. e(x, y)")
+        assert isinstance(f, ExistsInd)
+        assert f.free_individual_vars() == {"y"}
+
+    def test_set(self):
+        f = parse_formula("EXS X. x in X")
+        assert isinstance(f, ExistsSet)
+
+    def test_set_quantifier_needs_uppercase(self):
+        with pytest.raises(MSOParseError):
+            parse_formula("EXS x. p(x)")
+
+    def test_quantifier_after_connective_scopes_right(self):
+        f = parse_formula("p(x) -> EX y. q(y) & r(y)")
+        # the quantifier swallows the conjunction
+        assert isinstance(f.right, ExistsInd)
+        assert isinstance(f.right.body, And)
+
+    def test_nested(self):
+        f = parse_formula("ALL x. EX y. e(x, y)")
+        assert isinstance(f, ForallInd)
+        assert f.quantifier_depth() == 2
+
+
+class TestSemantics:
+    def test_parsed_formula_evaluates(self):
+        s = graph_to_structure(Graph.path(3))
+        f = parse_formula("ALL x. EX y. e(x, y)")
+        assert evaluate(s, f)
+
+    def test_closed_macro_roundtrip(self):
+        """The Example 2.6 Closed(Y) macro, parsed from text."""
+        closed = parse_formula(
+            "ALL f. fd(f) -> EX b. (rh(b, f) & b in Y) | (lh(b, f) & b notin Y)"
+        )
+        schema = running_example()
+        structure = schema.to_structure()
+        for y in (frozenset(), frozenset("bcdeg"), frozenset("c")):
+            assert evaluate(structure, closed, sets={"Y": y}) == (
+                schema.is_closed(y)
+            )
+
+
+class TestErrors:
+    def test_garbage(self):
+        with pytest.raises(MSOParseError):
+            parse_formula("@@@")
+
+    def test_dangling_term(self):
+        with pytest.raises(MSOParseError):
+            parse_formula("x")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(MSOParseError):
+            parse_formula("p(x) q(x)")
+
+    def test_missing_dot(self):
+        with pytest.raises(MSOParseError):
+            parse_formula("EX x p(x)")

@@ -1,0 +1,105 @@
+"""Tests for the MSO abstract syntax."""
+
+from repro.mso import (
+    And,
+    Const,
+    Eq,
+    ExistsInd,
+    ExistsSet,
+    FALSE,
+    ForallInd,
+    ForallSet,
+    Implies,
+    In,
+    Not,
+    Or,
+    RelAtom,
+    TRUE,
+    and_all,
+    formulas,
+    not_in,
+    or_all,
+    proper_subset,
+    subset_eq,
+)
+
+
+class TestQuantifierDepth:
+    def test_atoms_are_depth_zero(self):
+        assert RelAtom("e", ("x", "y")).quantifier_depth() == 0
+        assert Eq("x", "y").quantifier_depth() == 0
+        assert In("x", "X").quantifier_depth() == 0
+
+    def test_connectives_take_max(self):
+        f = And(ExistsInd("x", TRUE), RelAtom("p", ("y",)))
+        assert f.quantifier_depth() == 1
+
+    def test_quantifiers_add_one(self):
+        f = ExistsSet("X", ForallInd("x", In("x", "X")))
+        assert f.quantifier_depth() == 2
+
+    def test_paper_formulas(self):
+        # Section 5.1 three-colorability: ∃R∃G∃B [∀v ... ∧ ∀v1∀v2 ...]
+        assert formulas.three_colorability().quantifier_depth() == 5
+        assert formulas.primality().quantifier_depth() == 4
+        assert formulas.has_neighbor().quantifier_depth() == 1
+        assert formulas.has_self_loop().quantifier_depth() == 0
+
+    def test_sugar_depth(self):
+        assert subset_eq("X", "Y").quantifier_depth() == 1
+        assert proper_subset("X", "Y").quantifier_depth() == 1
+        assert TRUE.quantifier_depth() == 0
+
+
+class TestFreeVariables:
+    def test_rel_atom(self):
+        f = RelAtom("e", ("x", Const(3)))
+        assert f.free_individual_vars() == {"x"}
+
+    def test_quantifier_binds(self):
+        f = ExistsInd("x", RelAtom("e", ("x", "y")))
+        assert f.free_individual_vars() == {"y"}
+
+    def test_set_quantifier_binds_set_var(self):
+        f = ExistsSet("X", And(In("x", "X"), In("y", "Y")))
+        assert f.free_set_vars() == {"Y"}
+        assert f.free_individual_vars() == {"x", "y"}
+
+    def test_primality_has_one_free_variable(self):
+        f = formulas.primality("x")
+        assert f.free_individual_vars() == {"x"}
+        assert f.free_set_vars() == frozenset()
+
+    def test_three_colorability_is_a_sentence(self):
+        f = formulas.three_colorability()
+        assert f.free_individual_vars() == frozenset()
+        assert f.free_set_vars() == frozenset()
+
+
+class TestHelpers:
+    def test_and_all_empty_is_true(self):
+        assert and_all([]) is TRUE
+
+    def test_or_all_empty_is_false(self):
+        assert or_all([]) is FALSE
+
+    def test_and_all_chains(self):
+        f = and_all([TRUE, TRUE, TRUE])
+        assert isinstance(f, And)
+
+    def test_operator_sugar(self):
+        f = RelAtom("p", ("x",)) & RelAtom("q", ("x",))
+        assert isinstance(f, And)
+        g = RelAtom("p", ("x",)) | RelAtom("q", ("x",))
+        assert isinstance(g, Or)
+        assert isinstance(~TRUE, Not)
+        assert isinstance(TRUE.implies(FALSE), Implies)
+
+    def test_not_in(self):
+        f = not_in("x", "Y")
+        assert isinstance(f, Not) and isinstance(f.body, In)
+
+    def test_str_renders(self):
+        f = ExistsSet("X", ForallInd("x", In("x", "X")))
+        text = str(f)
+        assert "∃²X" in text and "∀x" in text and "∈" in text

@@ -1,0 +1,120 @@
+"""Tests for rank-k MSO types and their composition laws (Section 3)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mso import equivalent, evaluate, formulas, mso_type
+from repro.structures import Graph, Structure, Signature, graph_to_structure
+
+from ..conftest import small_graphs
+
+SIG = Signature.of(e=2)
+
+
+def g2s(g):
+    return graph_to_structure(g)
+
+
+class TestBasicInvariance:
+    def test_isomorphic_structures_share_types(self):
+        a = g2s(Graph(vertices=[0, 1, 2], edges=[(0, 1)]))
+        b = g2s(Graph(vertices=["x", "y", "z"], edges=[("y", "z")]))
+        for k in (0, 1):
+            assert mso_type(a, (0, 1), k) == mso_type(b, ("y", "z"), k)
+
+    def test_point_order_matters(self):
+        a = g2s(Graph(vertices=[0, 1, 2], edges=[(0, 1)]))
+        assert mso_type(a, (0, 2), 0) != mso_type(a, (0, 1), 0)
+
+    def test_rank_zero_sees_only_points(self):
+        a = g2s(Graph(vertices=[0, 1, 2], edges=[(1, 2)]))
+        b = g2s(Graph(vertices=[0, 1, 2]))
+        assert mso_type(a, (0,), 0) == mso_type(b, (0,), 0)
+        # rank 1 still cannot see an edge between two non-points (a single
+        # point move reveals at most pairs involving the point) ...
+        assert mso_type(a, (0,), 1) == mso_type(b, (0,), 1)
+        # ... but two point moves (rank 2) expose it.
+        assert mso_type(a, (0,), 2) != mso_type(b, (0,), 2)
+
+    def test_path_lengths_distinguished_at_depth_two(self):
+        p2, p3 = g2s(Graph.path(2)), g2s(Graph.path(3))
+        assert equivalent(p2, (), p3, (), 1)
+        assert not equivalent(p2, (), p3, (), 2)
+
+
+class TestEquivalenceSemantics:
+    @given(small_graphs(max_vertices=4), small_graphs(max_vertices=4))
+    @settings(max_examples=15)
+    def test_k_equivalence_preserves_depth_k_formulas(self, g1, g2):
+        """The defining property of ≡_k, checked on depth-1 sentences."""
+        s1, s2 = g2s(g1), g2s(g2)
+        if not equivalent(s1, (), s2, (), 1):
+            return
+        import repro.mso.syntax as syn
+
+        sentences = [
+            syn.ExistsInd("x", syn.RelAtom("e", ("x", "x"))),
+            syn.ForallInd("x", syn.RelAtom("e", ("x", "x"))),
+            syn.ExistsInd("x", syn.Eq("x", "x")),
+        ]
+        for sentence in sentences:
+            assert evaluate(s1, sentence) == evaluate(s2, sentence)
+
+    @given(small_graphs(max_vertices=4))
+    @settings(max_examples=10)
+    def test_reflexive(self, g):
+        s = g2s(g)
+        assert equivalent(s, (), s, (), 1)
+
+    def test_signature_mismatch_not_equivalent(self):
+        a = Structure(SIG, [0])
+        b = Structure(Signature.of(p=1), [0])
+        assert not equivalent(a, (), b, (), 0)
+
+    def test_point_count_mismatch_not_equivalent(self):
+        a = g2s(Graph.path(2))
+        assert not equivalent(a, (0,), a, (0, 1), 1)
+
+
+class TestCompositionLemmas:
+    """Lemma 3.5-style composition on concrete small structures."""
+
+    def test_union_respects_types(self):
+        """Glueing equal-typed parts onto the same bag yields equal types
+        (the essence of Lemma 3.5(3))."""
+        # two pointed paths of equal type
+        a = g2s(Graph(vertices=[0, 1, 2], edges=[(0, 1), (1, 2)]))
+        b = g2s(Graph(vertices=[0, 1, 9], edges=[(0, 1), (1, 9)]))
+        k = 1
+        assert mso_type(a, (0, 1), k) == mso_type(b, (0, 1), k)
+        # extend both by the same extra structure on the bag
+        extra = Graph(vertices=[0, 1, 5], edges=[(0, 5)])
+        au = a.disjoint_union(g2s(extra))
+        bu = b.disjoint_union(g2s(extra))
+        assert mso_type(au, (0, 1), k) == mso_type(bu, (0, 1), k)
+
+    def test_renaming_preserves_types(self):
+        a = g2s(Graph(vertices=[0, 1, 2], edges=[(0, 1), (1, 2)]))
+        renamed = a.renamed({0: "u", 1: "v", 2: "w"})
+        assert mso_type(a, (0, 1), 1) == mso_type(renamed, ("u", "v"), 1)
+
+
+class TestLastRoundSetMoveOptimization:
+    def test_depth_one_set_moves_match_full_enumeration(self):
+        """The optimized set-successor computation at depth 1 must agree
+        with brute-force enumeration over all subsets of the domain."""
+        from itertools import chain, combinations
+
+        from repro.mso.types import atomic_type
+
+        g = Graph(vertices=[0, 1, 2, 3], edges=[(0, 1), (2, 3)])
+        s = g2s(g)
+        pts = (0, 1)
+        domain = sorted(s.domain, key=repr)
+        full = frozenset(
+            ("t0", atomic_type(s, pts, (frozenset(q),)))
+            for q in chain.from_iterable(
+                combinations(domain, r) for r in range(len(domain) + 1)
+            )
+        )
+        computed = mso_type(s, pts, 1)
+        assert computed[3] == full  # the set-successor component

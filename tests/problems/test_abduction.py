@@ -1,0 +1,139 @@
+"""Tests for definite-Horn abduction (the paper's closing application)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.problems import AbductionProblem, HornClause
+
+
+@pytest.fixture
+def car_problem():
+    """The classic diagnosis example: why does the engine run?"""
+    return AbductionProblem.parse(
+        "vars: battery fuel spark engine lights;"
+        " hyp: battery fuel;"
+        " obs: engine;"
+        " battery & fuel -> spark; spark -> engine; battery -> lights"
+    )
+
+
+class TestSemantics:
+    def test_consequences(self, car_problem):
+        out = car_problem.consequences({"battery", "fuel"})
+        assert out == frozenset(
+            {"battery", "fuel", "spark", "engine", "lights"}
+        )
+
+    def test_is_explanation(self, car_problem):
+        assert car_problem.is_explanation({"battery", "fuel"})
+        assert not car_problem.is_explanation({"battery"})
+        assert not car_problem.is_explanation(set())
+
+    def test_non_hypothesis_rejected(self, car_problem):
+        with pytest.raises(ValueError):
+            car_problem.is_explanation({"spark"})
+
+    def test_minimal_explanations(self, car_problem):
+        assert list(car_problem.minimal_explanations()) == [
+            frozenset({"battery", "fuel"})
+        ]
+
+    def test_solvable(self, car_problem):
+        assert car_problem.is_solvable()
+
+    def test_unsolvable_problem(self):
+        p = AbductionProblem.parse(
+            "vars: a b m; hyp: a; obs: m; b -> m"
+        )
+        assert not p.is_solvable()
+        assert not p.relevant_bruteforce("a")
+        assert not p.relevant("a")
+
+    def test_facts_in_theory(self):
+        p = AbductionProblem(
+            "abm", "a", "m", [HornClause(frozenset(), "b"), HornClause(frozenset("ab"), "m")]
+        )
+        # b is a fact, so {a} alone explains m
+        assert p.is_explanation({"a"})
+
+
+class TestRelevanceAndNecessity:
+    def test_relevance(self, car_problem):
+        assert car_problem.relevant_bruteforce("battery")
+        assert car_problem.relevant("battery")
+        assert car_problem.relevant("fuel")
+
+    def test_irrelevant_hypothesis(self):
+        p = AbductionProblem.parse(
+            "vars: a b m; hyp: a b; obs: m; a -> m"
+        )
+        assert p.relevant("a")
+        assert not p.relevant("b")  # b never needed
+        assert p.relevant_bruteforce("a") and not p.relevant_bruteforce("b")
+
+    def test_alternative_explanations(self):
+        p = AbductionProblem.parse(
+            "vars: a b m; hyp: a b; obs: m; a -> m; b -> m"
+        )
+        assert p.relevant("a") and p.relevant("b")
+        assert not p.necessary_bruteforce("a")
+        assert not p.necessary_bruteforce("b")
+
+    def test_necessity(self, car_problem):
+        assert car_problem.necessary_bruteforce("battery")
+        assert car_problem.necessary_bruteforce("fuel")
+
+    def test_unknown_hypothesis_raises(self, car_problem):
+        with pytest.raises(ValueError):
+            car_problem.relevant("engine")
+
+
+class TestReduction:
+    def test_relevance_schema_shape(self, car_problem):
+        schema = car_problem.relevance_schema()
+        from repro.problems.abduction import GOAL
+
+        assert GOAL in schema.attributes
+        # one FD per clause + M -> goal + goal -> v for each variable
+        assert len(schema.fds) == 3 + 1 + 5
+
+    def test_explanations_are_allowed_superkeys(self, car_problem):
+        schema = car_problem.relevance_schema()
+        assert schema.is_superkey(frozenset({"battery", "fuel"}))
+        assert not schema.is_superkey(frozenset({"battery"}))
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_treewidth_route_matches_bruteforce(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 5)
+        variables = [f"v{i}" for i in range(n)]
+        hypotheses = rng.sample(variables, rng.randint(1, n))
+        manifestations = rng.sample(variables, 1)
+        clauses = []
+        for _ in range(rng.randint(1, 4)):
+            head = rng.choice(variables)
+            pool = [v for v in variables if v != head]
+            body = frozenset(rng.sample(pool, rng.randint(1, min(2, len(pool)))))
+            clauses.append(HornClause(body, head))
+        problem = AbductionProblem(variables, hypotheses, manifestations, clauses)
+        for h in sorted(problem.hypotheses):
+            assert problem.relevant(h) == problem.relevant_bruteforce(h)
+
+
+class TestParsing:
+    def test_reserved_goal_name_rejected(self):
+        from repro.problems.abduction import GOAL
+
+        with pytest.raises(ValueError):
+            AbductionProblem([GOAL, "m"], [GOAL], ["m"], [])
+
+    def test_manifestation_required(self):
+        with pytest.raises(ValueError):
+            AbductionProblem("ab", "a", [], [])
+
+    def test_parse_errors(self):
+        with pytest.raises(ValueError):
+            AbductionProblem.parse("vars: a; hyp: a; obs: a; nonsense clause")

@@ -1,0 +1,89 @@
+"""Tests for the workload generators (Section 6 test data)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.problems import (
+    TABLE1_SIZES,
+    random_graph,
+    random_partial_ktree,
+    random_schema,
+    random_tree_graph,
+    table1_instance,
+    table1_schema,
+)
+from repro.treewidth import treewidth_exact
+
+
+class TestTable1Workload:
+    def test_sizes_match_paper(self):
+        """#Att = 3 * #FD, exactly the Table 1 columns."""
+        for num_att, num_fd in TABLE1_SIZES:
+            assert num_att == 3 * num_fd
+
+    @pytest.mark.parametrize("num_fd", [1, 2, 3, 7])
+    def test_instance_counts(self, num_fd):
+        inst = table1_instance(num_fd)
+        assert inst.num_fds == num_fd
+        assert inst.num_attributes == 3 * num_fd
+        assert inst.treewidth == 3
+
+    def test_decomposition_is_valid(self):
+        inst = table1_instance(5)
+        inst.decomposition.validate_for_structure(inst.schema.to_structure())
+
+    def test_gadget_coupling(self):
+        schema = table1_schema(3)
+        assert schema.fd("f1").lhs == frozenset({"r0", "p1"})
+        assert schema.fd("f2").lhs == frozenset({"r0", "p2"})
+
+    def test_primes_are_nontrivial(self):
+        """The workload must exercise both outcomes of the decision."""
+        schema = table1_schema(3)
+        primes = schema.prime_attributes_bruteforce()
+        assert primes and primes < frozenset(schema.attributes)
+
+    def test_zero_gadgets_rejected(self):
+        with pytest.raises(ValueError):
+            table1_schema(0)
+
+
+class TestRandomPartialKTree:
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=20)
+    def test_valid_and_width_bounded(self, n, k, seed):
+        rng = random.Random(seed)
+        graph, td = random_partial_ktree(rng, n, k)
+        td.validate_for_graph(graph)
+        assert td.width <= k
+        if n <= 9:
+            assert treewidth_exact(graph) <= k
+
+    def test_zero_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            random_partial_ktree(random.Random(0), 0, 2)
+
+
+class TestOtherGenerators:
+    def test_random_tree_is_tree(self, rng):
+        g = random_tree_graph(rng, 12)
+        assert g.edge_count() == 11
+        assert treewidth_exact(g) <= 1
+
+    def test_random_schema_valid(self, rng):
+        schema = random_schema(rng, 5, 4)
+        assert len(schema.attributes) == 5
+        for f in schema.fds:
+            assert f.rhs not in f.lhs
+
+    def test_random_graph_edge_probability_extremes(self, rng):
+        empty = random_graph(rng, 6, 0.0)
+        assert empty.edge_count() == 0
+        full = random_graph(rng, 6, 1.0)
+        assert full.edge_count() == 15

@@ -1,0 +1,76 @@
+"""Tests for PRIMALITY in a subschema (the paper's conclusion)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.problems import (
+    is_prime_in_subschema,
+    is_prime_in_subschema_bruteforce,
+    primality_direct,
+)
+from repro.structures import RelationalSchema, running_example
+
+from ..conftest import small_schemas
+
+
+class TestCollapseToFigure6:
+    """With allowed = R the program must be exactly Figure 6."""
+
+    def test_running_example(self):
+        s = running_example()
+        for a in s.attributes:
+            assert is_prime_in_subschema(s, a, s.attributes) == (
+                primality_direct(s, a)
+            )
+
+    @given(small_schemas(max_attrs=5, max_fds=4))
+    @settings(max_examples=10, deadline=None)
+    def test_random_schemas(self, schema):
+        for a in schema.attributes:
+            assert is_prime_in_subschema(schema, a, schema.attributes) == (
+                primality_direct(schema, a)
+            )
+
+
+class TestRestrictedGenerators:
+    def test_target_outside_allowed_is_false(self):
+        s = running_example()
+        assert not is_prime_in_subschema(s, "a", frozenset("bcd"))
+
+    def test_running_example_restricted(self):
+        """Restrict generators to {a, c, d}: keys within the subset."""
+        s = running_example()
+        # acd is a key entirely inside the allowed set
+        for a in "acd":
+            want = is_prime_in_subschema_bruteforce(s, a, frozenset("acd"))
+            assert is_prime_in_subschema(s, a, frozenset("acd")) == want
+
+    def test_no_allowed_superkey_means_nothing_prime(self):
+        s = RelationalSchema.parse("R = abc; a -> b")
+        # {c} alone can never reach a or b
+        assert not is_prime_in_subschema(s, "c", frozenset("c"))
+
+    def test_unknown_target_raises(self):
+        with pytest.raises(ValueError):
+            is_prime_in_subschema(running_example(), "zz", frozenset("a"))
+
+    def test_unknown_allowed_raises(self):
+        with pytest.raises(ValueError):
+            is_prime_in_subschema(running_example(), "a", frozenset("az"))
+
+
+class TestAgainstBruteforce:
+    @given(
+        small_schemas(max_attrs=5, max_fds=4),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_subschemas(self, schema, seed):
+        rng = random.Random(seed)
+        k = rng.randint(1, len(schema.attributes))
+        allowed = frozenset(rng.sample(list(schema.attributes), k))
+        for a in sorted(allowed):
+            want = is_prime_in_subschema_bruteforce(schema, a, allowed)
+            assert is_prime_in_subschema(schema, a, allowed) == want

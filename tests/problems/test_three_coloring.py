@@ -1,0 +1,124 @@
+"""Cross-validation of the three 3-Colorability solvers (Section 5.1)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.problems import (
+    ThreeColoringDatalog,
+    encode_for_three_coloring,
+    is_valid_coloring,
+    three_coloring_bruteforce,
+    three_coloring_direct,
+    three_coloring_program,
+)
+from repro.problems.three_coloring import prepare_decomposition
+from repro.structures import Graph
+
+from ..conftest import small_graphs
+
+
+@pytest.fixture(scope="module")
+def datalog_solver():
+    return ThreeColoringDatalog()
+
+
+KNOWN = [
+    (Graph.cycle(4), True),
+    (Graph.cycle(5), True),
+    (Graph.cycle(6), True),
+    (Graph.complete(3), True),
+    (Graph.complete(4), False),
+    (Graph.grid(3, 3), True),
+    (Graph.path(8), True),
+    (Graph(vertices=[0], edges=[(0, 0)]), False),
+]
+
+
+class TestKnownGraphs:
+    @pytest.mark.parametrize("graph,expected", KNOWN, ids=repr)
+    def test_direct(self, graph, expected):
+        colorable, _ = three_coloring_direct(graph)
+        assert colorable == expected
+
+    @pytest.mark.parametrize("graph,expected", KNOWN, ids=repr)
+    def test_datalog(self, graph, expected, datalog_solver):
+        assert datalog_solver.decide(graph) == expected
+
+    def test_empty_graph(self, datalog_solver):
+        assert datalog_solver.decide(Graph())
+        assert three_coloring_direct(Graph())[0]
+
+    def test_wheel_families(self, datalog_solver):
+        # odd wheels need 4 colors, even wheels 3... W_n = C_n + hub
+        for n, expected in ((4, True), (5, False), (6, True)):
+            wheel = Graph.cycle(n)
+            for v in range(n):
+                wheel.add_edge("hub", v)
+            assert three_coloring_direct(wheel)[0] == expected
+
+
+class TestWitnesses:
+    @pytest.mark.parametrize(
+        "graph", [g for g, colorable in KNOWN if colorable], ids=repr
+    )
+    def test_witness_is_valid_coloring(self, graph):
+        colorable, witness = three_coloring_direct(graph, want_witness=True)
+        assert colorable and witness is not None
+        assert is_valid_coloring(graph, witness)
+
+    def test_no_witness_when_uncolorable(self):
+        colorable, witness = three_coloring_direct(
+            Graph.complete(4), want_witness=True
+        )
+        assert not colorable and witness is None
+
+
+class TestAgainstBruteforce:
+    @given(small_graphs(max_vertices=7))
+    @settings(max_examples=20, deadline=None)
+    def test_direct_matches_bruteforce(self, g):
+        assert three_coloring_direct(g)[0] == three_coloring_bruteforce(g)
+
+    @given(small_graphs(max_vertices=6))
+    @settings(max_examples=12, deadline=None)
+    def test_datalog_matches_bruteforce(self, g):
+        solver = ThreeColoringDatalog()
+        assert solver.decide(g) == three_coloring_bruteforce(g)
+
+
+class TestProgramShape:
+    def test_figure5_rule_count(self):
+        """Figure 5: 1 leaf + 3 introduction + 3 removal + 1 branch +
+        1 result, plus our explicit copy rule."""
+        program = three_coloring_program()
+        assert len(program.rules) == 10
+        assert program.intensional_predicates() == {"solve", "success"}
+
+    def test_program_is_data_independent(self):
+        assert str(three_coloring_program()) == str(three_coloring_program())
+
+    def test_solve_fact_counts_reported(self):
+        solver = ThreeColoringDatalog()
+        run = solver.run(Graph.cycle(4))
+        assert run.colorable
+        assert run.solve_fact_count > 0
+
+    def test_encoding_has_allowed_facts(self):
+        g = Graph.path(3)
+        nice = prepare_decomposition(g)
+        encoded = encode_for_three_coloring(g, nice)
+        assert encoded.relation("allowed")
+        # every allowed set is independent in g
+        for node, chosen in encoded.relation("allowed"):
+            for u in chosen:
+                assert not any(v in chosen for v in g.neighbors(u))
+
+    def test_decomposition_respected_when_supplied(self):
+        from repro.problems import random_partial_ktree
+        import random
+
+        g, td = random_partial_ktree(random.Random(1), 10, 2)
+        colorable, witness = three_coloring_direct(g, td, want_witness=True)
+        assert colorable == three_coloring_bruteforce(g)
+        if witness is not None:
+            assert is_valid_coloring(g, witness)

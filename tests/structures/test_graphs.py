@@ -1,0 +1,104 @@
+"""Unit tests for repro.structures.graphs."""
+
+import pytest
+from hypothesis import given
+
+from repro.structures import (
+    Graph,
+    gaifman_graph,
+    graph_to_structure,
+    relabel,
+    running_example,
+    structure_to_graph,
+    subgraph,
+)
+
+from ..conftest import small_graphs
+
+
+class TestFamilies:
+    def test_path_counts(self):
+        g = Graph.path(5)
+        assert g.vertex_count() == 5
+        assert g.edge_count() == 4
+
+    def test_cycle_counts(self):
+        g = Graph.cycle(5)
+        assert g.edge_count() == 5
+
+    def test_cycle_of_two_is_single_edge(self):
+        assert Graph.cycle(2).edge_count() == 1
+
+    def test_complete_counts(self):
+        g = Graph.complete(5)
+        assert g.edge_count() == 10
+
+    def test_grid_counts(self):
+        g = Graph.grid(3, 4)
+        assert g.vertex_count() == 12
+        assert g.edge_count() == 3 * 3 + 2 * 4
+
+    def test_neighbors(self):
+        g = Graph.path(3)
+        assert g.neighbors(1) == frozenset({0, 2})
+
+
+class TestBasicOps:
+    def test_add_edge_adds_vertices(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        assert g.vertices == frozenset({"a", "b"})
+
+    def test_edges_canonical_once(self):
+        g = Graph(edges=[(1, 2), (2, 1)])
+        assert g.edge_count() == 1
+
+    def test_self_loop(self):
+        g = Graph(edges=[(1, 1)])
+        assert g.has_edge(1, 1)
+
+    def test_copy_is_independent(self):
+        g = Graph.path(3)
+        h = g.copy()
+        h.add_edge(0, 2)
+        assert not g.has_edge(0, 2)
+
+    def test_subgraph(self):
+        g = Graph.cycle(5)
+        h = subgraph(g, {0, 1, 2})
+        assert h.edge_count() == 2
+
+    def test_relabel(self):
+        g = Graph.path(3)
+        h = relabel(g, {0: "a", 1: "b", 2: "c"})
+        assert h.has_edge("a", "b")
+
+    def test_relabel_non_injective_raises(self):
+        with pytest.raises(ValueError):
+            relabel(Graph.path(3), {0: 1})
+
+
+class TestConversions:
+    def test_structure_stores_both_orientations(self):
+        s = graph_to_structure(Graph.path(2))
+        assert s.holds("e", 0, 1) and s.holds("e", 1, 0)
+
+    @given(small_graphs())
+    def test_roundtrip(self, g):
+        back = structure_to_graph(graph_to_structure(g))
+        assert back.vertices == g.vertices
+        assert back.edges() == g.edges() or {
+            frozenset(e) for e in back.edges()
+        } == {frozenset(e) for e in g.edges()}
+
+    def test_gaifman_of_schema_structure_is_incidence_graph(self):
+        """Remark in Section 2.2: the Gaifman graph of the schema
+        structure is the incidence graph of the hypergraph H(R, F)."""
+        schema = running_example()
+        g = gaifman_graph(schema.to_structure())
+        # bipartite: attribute-attribute edges never occur
+        fd_names = {f.name for f in schema.fds}
+        for u, v in g.edges():
+            assert (u in fd_names) != (v in fd_names)
+        # f1: ab -> c touches exactly a, b, c
+        assert g.neighbors("f1") == frozenset({"a", "b", "c"})

@@ -1,0 +1,170 @@
+"""Unit and property tests for repro.structures.schema."""
+
+import pytest
+from hypothesis import given
+
+from repro.structures import (
+    FunctionalDependency,
+    RelationalSchema,
+    running_example,
+)
+
+from ..conftest import small_schemas
+
+
+class TestParsing:
+    def test_running_example_shape(self):
+        s = running_example()
+        assert "".join(s.attributes) == "abcdeg"
+        assert len(s.fds) == 5
+        assert s.fd("f1").lhs == frozenset("ab")
+        assert s.fd("f1").rhs == "c"
+
+    def test_multi_rhs_fd_is_split(self):
+        s = RelationalSchema.parse("R = abc; a -> bc")
+        assert len(s.fds) == 2
+        assert {f.rhs for f in s.fds} == {"b", "c"}
+
+    def test_parse_no_fds(self):
+        s = RelationalSchema.parse("R = ab;")
+        assert s.fds == ()
+
+    def test_parse_errors(self):
+        with pytest.raises(ValueError):
+            RelationalSchema.parse("nonsense")
+        with pytest.raises(ValueError):
+            RelationalSchema.parse("R = ab; a b")
+
+    def test_duplicate_fd_names_rejected(self):
+        f = FunctionalDependency("f1", frozenset("a"), "b")
+        with pytest.raises(ValueError):
+            RelationalSchema("ab", [f, f])
+
+    def test_fd_unknown_attribute_rejected(self):
+        f = FunctionalDependency("f1", frozenset("z"), "b")
+        with pytest.raises(ValueError):
+            RelationalSchema("ab", [f])
+
+    def test_fd_name_attribute_clash_rejected(self):
+        f = FunctionalDependency("a", frozenset("a"), "b")
+        with pytest.raises(ValueError):
+            RelationalSchema("ab", [f])
+
+
+class TestClosure:
+    def test_example_2_1_closures(self):
+        s = running_example()
+        assert s.closure("cd") == frozenset("bcdeg")
+        assert s.closure("abd") == frozenset("abcdeg")
+        assert s.closure("a") == frozenset("a")
+        assert s.closure("") == frozenset()
+
+    def test_closure_unknown_attr_raises(self):
+        with pytest.raises(ValueError):
+            running_example().closure("z")
+
+    def test_is_closed(self):
+        s = running_example()
+        assert s.is_closed(s.closure("cd"))
+        assert not s.is_closed("c")
+
+    @given(small_schemas())
+    def test_closure_is_extensive_monotone_idempotent(self, schema):
+        attrs = list(schema.attributes)
+        half = frozenset(attrs[: len(attrs) // 2])
+        full = frozenset(attrs)
+        c = schema.closure(half)
+        assert half <= c
+        assert c <= schema.closure(full)
+        assert schema.closure(c) == c
+
+    @given(small_schemas())
+    def test_closure_matches_naive_derivation(self, schema):
+        """The counting algorithm agrees with naive saturation."""
+        start = frozenset(schema.attributes[:2])
+        derived = set(start)
+        changed = True
+        while changed:
+            changed = False
+            for f in schema.fds:
+                if f.lhs <= derived and f.rhs not in derived:
+                    derived.add(f.rhs)
+                    changed = True
+        assert schema.closure(start) == frozenset(derived)
+
+
+class TestKeys:
+    def test_example_2_1_keys(self):
+        """Example 2.1: the keys are exactly abd and acd."""
+        keys = running_example().candidate_keys()
+        assert keys == {frozenset("abd"), frozenset("acd")}
+
+    def test_is_key(self):
+        s = running_example()
+        assert s.is_key(frozenset("abd"))
+        assert not s.is_key(frozenset("abcd"))  # superkey, not minimal
+        assert not s.is_key(frozenset("ab"))
+
+    def test_minimize_superkey(self):
+        s = running_example()
+        key = s.minimize_superkey(s.attributes)
+        assert s.is_key(key)
+
+    def test_minimize_non_superkey_raises(self):
+        with pytest.raises(ValueError):
+            running_example().minimize_superkey("ab")
+
+    @given(small_schemas())
+    def test_every_candidate_key_is_a_key(self, schema):
+        for key in schema.candidate_keys():
+            assert schema.is_key(key)
+
+    @given(small_schemas())
+    def test_no_candidate_key_contains_another(self, schema):
+        keys = list(schema.candidate_keys())
+        for a in keys:
+            for b in keys:
+                if a is not b:
+                    assert not a < b
+
+
+class TestPrimality:
+    def test_example_2_1_primes(self):
+        """Example 2.1: a, b, c, d are prime; e and g are not."""
+        s = running_example()
+        assert s.prime_attributes_bruteforce() == frozenset("abcd")
+        assert s.is_prime_bruteforce("a")
+        assert not s.is_prime_bruteforce("e")
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(ValueError):
+            running_example().is_prime_bruteforce("z")
+
+    @given(small_schemas())
+    def test_closed_set_characterization_agrees(self, schema):
+        """Example 2.6's characterization == key membership."""
+        for a in schema.attributes:
+            assert schema.is_prime_via_closed_set(a) == schema.is_prime_bruteforce(a)
+
+    def test_third_normal_form(self):
+        assert not running_example().is_third_normal_form()
+        assert RelationalSchema.parse("R = ab; a -> b").is_third_normal_form()
+
+
+class TestStructureEncoding:
+    def test_to_structure_relations(self):
+        st = running_example().to_structure()
+        assert st.holds("att", "a")
+        assert st.holds("fd", "f1")
+        assert st.holds("lh", "a", "f1")
+        assert st.holds("rh", "c", "f1")
+        assert len(st.domain) == 6 + 5
+
+    @given(small_schemas())
+    def test_structure_roundtrip(self, schema):
+        assert RelationalSchema.from_structure(schema.to_structure()) == schema
+
+    def test_describe_lists_fds(self):
+        text = running_example().describe()
+        assert "R = abcdeg" in text
+        assert "f1" in text

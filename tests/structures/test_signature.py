@@ -1,0 +1,84 @@
+"""Unit tests for repro.structures.signature."""
+
+import pytest
+
+from repro.structures import (
+    GRAPH_SIGNATURE,
+    SCHEMA_SIGNATURE,
+    Predicate,
+    Signature,
+)
+
+
+class TestPredicate:
+    def test_str(self):
+        assert str(Predicate("e", 2)) == "e/2"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Predicate("", 1)
+
+    def test_rejects_negative_arity(self):
+        with pytest.raises(ValueError):
+            Predicate("p", -1)
+
+    def test_ordering_is_by_name_then_arity(self):
+        assert Predicate("a", 1) < Predicate("b", 0)
+
+
+class TestSignature:
+    def test_of_constructor(self):
+        sig = Signature.of(e=2, p=1)
+        assert sig.arity("e") == 2
+        assert sig.arity("p") == 1
+
+    def test_arity_unknown_raises(self):
+        with pytest.raises(KeyError):
+            Signature.of(e=2).arity("missing")
+
+    def test_contains(self):
+        sig = Signature.of(e=2)
+        assert "e" in sig
+        assert "f" not in sig
+
+    def test_len_and_iter(self):
+        sig = Signature.of(a=1, b=2, c=3)
+        assert len(sig) == 3
+        assert sorted(sig) == ["a", "b", "c"]
+
+    def test_predicates_are_sorted(self):
+        sig = Signature.of(z=1, a=2)
+        assert [p.name for p in sig.predicates()] == ["a", "z"]
+
+    def test_equality_and_hash(self):
+        assert Signature.of(e=2) == Signature.of(e=2)
+        assert hash(Signature.of(e=2)) == hash(Signature.of(e=2))
+        assert Signature.of(e=2) != Signature.of(e=1)
+
+    def test_extended_adds_predicates(self):
+        extended = GRAPH_SIGNATURE.extended({"root": 1})
+        assert "root" in extended
+        assert "e" in extended
+        assert "root" not in GRAPH_SIGNATURE  # original untouched
+
+    def test_extended_same_arity_is_noop(self):
+        extended = GRAPH_SIGNATURE.extended({"e": 2})
+        assert extended == GRAPH_SIGNATURE
+
+    def test_extended_conflicting_arity_raises(self):
+        with pytest.raises(ValueError):
+            GRAPH_SIGNATURE.extended({"e": 3})
+
+    def test_graph_signature_shape(self):
+        assert GRAPH_SIGNATURE.arity("e") == 2
+        assert len(GRAPH_SIGNATURE) == 1
+
+    def test_schema_signature_shape(self):
+        """Section 2.2: tau = {fd, att, lh, rh}."""
+        assert SCHEMA_SIGNATURE.arity("fd") == 1
+        assert SCHEMA_SIGNATURE.arity("att") == 1
+        assert SCHEMA_SIGNATURE.arity("lh") == 2
+        assert SCHEMA_SIGNATURE.arity("rh") == 2
+
+    def test_repr_mentions_predicates(self):
+        assert "e/2" in repr(GRAPH_SIGNATURE)

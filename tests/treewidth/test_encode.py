@@ -1,0 +1,104 @@
+"""Tests for the tau_td encodings (Section 4 / Section 5)."""
+
+from repro.structures import Graph, graph_to_structure, running_example
+from repro.treewidth import (
+    TDNode,
+    decompose_graph,
+    decompose_structure,
+    encode_nice,
+    encode_normalized,
+    make_nice,
+    normalize,
+)
+
+
+def normalized_encoding(graph):
+    structure = graph_to_structure(graph)
+    ntd = normalize(decompose_graph(graph))
+    return structure, ntd, encode_normalized(structure, ntd)
+
+
+class TestEncodeNormalized:
+    def test_signature_extension(self):
+        _, ntd, encoded = normalized_encoding(Graph.cycle(5))
+        assert encoded.signature.arity("bag") == ntd.width + 2
+        for name in ("root", "leaf", "child1", "child2", "e"):
+            assert name in encoded.signature
+
+    def test_exactly_one_root(self):
+        _, _, encoded = normalized_encoding(Graph.path(5))
+        assert len(encoded.relation("root")) == 1
+
+    def test_bag_facts_cover_all_nodes(self):
+        _, ntd, encoded = normalized_encoding(Graph.cycle(6))
+        assert len(encoded.relation("bag")) == ntd.node_count()
+
+    def test_child_facts_match_tree(self):
+        _, ntd, encoded = normalized_encoding(Graph.grid(2, 3))
+        unary_or_binary = sum(
+            1 for n in ntd.tree.nodes() if len(ntd.tree.children(n)) >= 1
+        )
+        assert len(encoded.relation("child1")) == unary_or_binary
+        binary = sum(
+            1 for n in ntd.tree.nodes() if len(ntd.tree.children(n)) == 2
+        )
+        assert len(encoded.relation("child2")) == binary
+
+    def test_child1_direction_is_child_then_parent(self):
+        """Section 4: child1(s1, s) -- s1 is the first child of s."""
+        _, ntd, encoded = normalized_encoding(Graph.path(4))
+        for s1, s in encoded.relation("child1"):
+            assert ntd.tree.parent(s1.index) == s.index
+
+    def test_original_facts_preserved(self):
+        structure, _, encoded = normalized_encoding(Graph.path(3))
+        assert encoded.relation("e") == structure.relation("e")
+
+    def test_domain_is_union(self):
+        """Section 4: dom(A_td) = dom(A) + tree nodes."""
+        structure, ntd, encoded = normalized_encoding(Graph.cycle(4))
+        expected = set(structure.domain) | {
+            TDNode(n) for n in ntd.tree.nodes()
+        }
+        assert encoded.domain == frozenset(expected)
+
+    def test_tdnode_str(self):
+        assert str(TDNode(7)) == "s7"
+
+
+class TestEncodeNice:
+    def test_default_payload_is_frozenset(self):
+        g = Graph.cycle(5)
+        structure = graph_to_structure(g)
+        nice = make_nice(decompose_graph(g))
+        encoded = encode_nice(structure, nice)
+        assert encoded.signature.arity("bag") == 2
+        for node, bag in encoded.relation("bag"):
+            assert isinstance(bag, frozenset)
+            assert bag == nice.bag(node.index)
+
+    def test_custom_payload_splits_bag(self):
+        schema = running_example()
+        structure = schema.to_structure()
+        nice = make_nice(decompose_structure(structure))
+        fd_names = {f.name for f in schema.fds}
+
+        def payload(bag):
+            return (
+                frozenset(e for e in bag if e not in fd_names),
+                frozenset(e for e in bag if e in fd_names),
+            )
+
+        encoded = encode_nice(structure, nice, bag_payload=payload)
+        assert encoded.signature.arity("bag") == 3
+        for node, at, fd in encoded.relation("bag"):
+            assert at | fd == nice.bag(node.index)
+            assert not (at & fd_names)
+
+    def test_payload_constants_are_in_domain(self):
+        g = Graph.path(3)
+        structure = graph_to_structure(g)
+        nice = make_nice(decompose_graph(g))
+        encoded = encode_nice(structure, nice)
+        for _, bag in encoded.relation("bag"):
+            assert bag in encoded.domain

@@ -1,0 +1,162 @@
+"""Tests for the Definition 2.3 normal form (Proposition 2.4)."""
+
+import pytest
+from hypothesis import given
+
+from repro.structures import Graph, graph_to_structure, running_example
+from repro.treewidth import (
+    NormalizedNodeKind,
+    decompose_graph,
+    decompose_structure,
+    normalize,
+    widen,
+)
+from repro.treewidth.normalize import (
+    assign_tuples,
+    binarize,
+    equalize_branches,
+    interpolate_edges,
+    pad_bags_to_full_size,
+)
+
+from ..conftest import small_graphs
+
+
+def normalized_of(graph):
+    td = decompose_graph(graph)
+    return td, normalize(td)
+
+
+class TestPipelineSteps:
+    def test_padding_fills_all_bags(self):
+        td = decompose_graph(Graph.path(5))
+        padded = pad_bags_to_full_size(td)
+        target = td.width + 1
+        assert all(len(b) == target for b in padded.bags.values())
+        padded.validate_for_graph(Graph.path(5))
+
+    def test_padding_to_explicit_width(self):
+        td = decompose_graph(Graph.cycle(6))
+        padded = pad_bags_to_full_size(td, td.width)
+        assert padded.width == td.width
+
+    def test_binarize_caps_children(self):
+        g = Graph(vertices=[0, 1, 2, 3, 4], edges=[(0, i) for i in range(1, 5)])
+        td = decompose_graph(g)
+        b = binarize(td)
+        assert all(len(b.tree.children(n)) <= 2 for n in b.tree.nodes())
+        b.validate_for_graph(g)
+
+    def test_equalize_branches(self):
+        g = Graph(vertices=[0, 1, 2, 3, 4], edges=[(0, i) for i in range(1, 5)])
+        td = equalize_branches(binarize(pad_bags_to_full_size(decompose_graph(g))))
+        for n in td.tree.nodes():
+            if len(td.tree.children(n)) == 2:
+                for c in td.tree.children(n):
+                    assert td.bags[c] == td.bags[n]
+
+    def test_interpolation_single_swaps(self):
+        g = Graph.cycle(8)
+        td = interpolate_edges(
+            equalize_branches(binarize(pad_bags_to_full_size(decompose_graph(g))))
+        )
+        for n in td.tree.nodes():
+            for c in td.tree.children(n):
+                assert len(td.bags[n] - td.bags[c]) <= 1
+        td.validate_for_graph(g)
+
+
+class TestNormalize:
+    def test_single_node_graph(self):
+        g = Graph(vertices=[0, 1], edges=[(0, 1)])
+        ntd = normalize(decompose_graph(g))
+        ntd.validate(graph_to_structure(g))
+
+    @given(small_graphs(max_vertices=7))
+    def test_normal_form_on_random_graphs(self, g):
+        if g.vertex_count() < 2:
+            return
+        td = decompose_graph(g)
+        ntd = normalize(td)
+        # Definition 2.3 plus the TD axioms, checked structurally:
+        ntd.validate(graph_to_structure(g))
+        # width preserved exactly (Proposition 2.4)
+        assert ntd.width == td.width
+
+    def test_node_kinds_partition(self):
+        td, ntd = normalized_of(Graph.grid(3, 3))
+        kinds = {ntd.node_kind(n) for n in ntd.tree.nodes()}
+        assert NormalizedNodeKind.LEAF in kinds
+
+    def test_bags_are_distinct_tuples(self):
+        _, ntd = normalized_of(Graph.cycle(6))
+        for n in ntd.tree.nodes():
+            bag = ntd.bag(n)
+            assert len(set(bag)) == len(bag) == ntd.width + 1
+
+    def test_branch_children_identical(self):
+        g = Graph(vertices=list(range(7)), edges=[(0, i) for i in range(1, 7)])
+        _, ntd = normalized_of(g)
+        for n in ntd.tree.nodes():
+            children = ntd.tree.children(n)
+            if len(children) == 2:
+                assert ntd.bag(children[0]) == ntd.bag(n)
+                assert ntd.bag(children[1]) == ntd.bag(n)
+
+    def test_permutation_of(self):
+        _, ntd = normalized_of(Graph.cycle(5))
+        for n in ntd.tree.nodes():
+            if ntd.node_kind(n) is NormalizedNodeKind.PERMUTATION:
+                pi = ntd.permutation_of(n)
+                (child,) = ntd.tree.children(n)
+                bag, child_bag = ntd.bag(n), ntd.bag(child)
+                assert tuple(bag[pi[i]] for i in range(len(pi))) == child_bag
+
+    def test_schema_structure_normalization(self):
+        s = running_example().to_structure()
+        td = decompose_structure(s)
+        ntd = normalize(td)
+        ntd.validate(s)
+        assert ntd.width == 2
+
+    def test_as_set_decomposition_valid(self):
+        g = Graph.grid(2, 3)
+        _, ntd = normalized_of(g)
+        ntd.as_set_decomposition().validate_for_graph(g)
+
+
+class TestWiden:
+    def test_widen_to_larger_width(self):
+        g = Graph.path(6)
+        td = decompose_graph(g)  # width 1
+        wide = widen(td, 3)
+        assert wide.width == 3
+        wide.validate_for_graph(g)
+        assert all(len(b) == 4 for b in wide.bags.values())
+
+    def test_widen_noop_at_same_width(self):
+        g = Graph.cycle(5)
+        td = decompose_graph(g)
+        assert widen(td, td.width).width == td.width
+
+    def test_widen_smaller_raises(self):
+        td = decompose_graph(Graph.complete(4))
+        with pytest.raises(ValueError):
+            widen(td, 1)
+
+    def test_widen_impossible_raises(self):
+        td = decompose_graph(Graph.path(2))
+        with pytest.raises(ValueError):
+            widen(td, 3)  # only two elements exist
+
+    @given(small_graphs(max_vertices=6))
+    def test_widen_then_normalize(self, g):
+        if g.vertex_count() < 4:
+            return
+        td = decompose_graph(g)
+        if td.width >= 3:
+            return
+        wide = widen(td, 3)
+        ntd = normalize(wide)
+        ntd.validate(graph_to_structure(g))
+        assert ntd.width == 3
