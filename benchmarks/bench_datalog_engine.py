@@ -1,21 +1,47 @@
-"""Engine internals: semi-naive vs naive fixpoint evaluation.
+"""Engine internals: the three evaluation backends head-to-head.
 
 Not a paper table, but the substrate claim behind the MD column: the
 interpreter's lazy delta-driven evaluation (Section 6, optimization (2))
-needs far fewer rule firings than naive re-derivation.
+needs far fewer rule firings than naive re-derivation, and the
+magic-set backend goes one step further on query-driven workloads by
+deriving only the facts the query demands.
 
-Run:  pytest benchmarks/bench_datalog_engine.py --benchmark-only
+Two entry points:
+
+* ``pytest benchmarks/bench_datalog_engine.py --benchmark-only`` --
+  pytest-benchmark timings of each backend;
+* ``python benchmarks/bench_datalog_engine.py [--quick]`` -- the
+  head-to-head comparison table (used as the CI smoke test).  The
+  script asserts the engine's two contract claims and exits non-zero
+  if either regresses:
+
+  1. the magic-set backend derives strictly fewer facts than plain
+     semi-naive on the query-driven workload;
+  2. on the largest configuration its wall clock is at least 2x faster.
 """
 
-import pytest
+import argparse
+import sys
+from pathlib import Path
 
+try:
+    import repro  # noqa: F401
+except ImportError:  # running as a plain script without install
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench import compare_backends, format_ms, format_table
 from repro.datalog import (
     Database,
     EvaluationStats,
+    ProgramCache,
     SemiNaiveEvaluator,
+    atom,
+    const,
     least_fixpoint,
     naive_least_fixpoint,
     parse_program,
+    solve,
+    var,
 )
 
 TC = parse_program(
@@ -24,6 +50,11 @@ TC = parse_program(
     path(X, Z) :- path(X, Y), edge(Y, Z).
     """
 )
+
+#: the query-driven workload: reachability *from one source*; full
+#: evaluation materializes all O(n^2) path facts, demand-driven
+#: evaluation needs only the O(n) facts rooted at the source.
+SOURCE_QUERY = atom("path", const(0), var("Y"))
 
 SIZES = [30, 60, 120]
 
@@ -35,34 +66,169 @@ def chain_db(n):
     return db
 
 
-@pytest.mark.parametrize("n", SIZES, ids=lambda n: f"chain{n}")
-def test_semi_naive_transitive_closure(benchmark, n):
-    db = chain_db(n)
-    result = benchmark.pedantic(
-        least_fixpoint, args=(TC, db), rounds=3, iterations=1
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - pytest always present in CI
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.parametrize("n", SIZES, ids=lambda n: f"chain{n}")
+    def test_semi_naive_transitive_closure(benchmark, n):
+        db = chain_db(n)
+        result = benchmark.pedantic(
+            least_fixpoint, args=(TC, db), rounds=3, iterations=1
+        )
+        assert len(result.relation("path")) == n * (n - 1) // 2
+
+    @pytest.mark.parametrize("n", SIZES[:2], ids=lambda n: f"chain{n}")
+    def test_naive_transitive_closure(benchmark, n):
+        db = chain_db(n)
+        result = benchmark.pedantic(
+            naive_least_fixpoint, args=(TC, db), rounds=2, iterations=1
+        )
+        assert len(result.relation("path")) == n * (n - 1) // 2
+
+    @pytest.mark.parametrize("n", SIZES, ids=lambda n: f"chain{n}")
+    def test_magic_single_source(benchmark, n):
+        db = chain_db(n)
+        result = benchmark.pedantic(
+            solve,
+            args=(TC, db),
+            kwargs={"backend": "magic", "query": SOURCE_QUERY},
+            rounds=3,
+            iterations=1,
+        )
+        assert len(result.relation("path")) == n - 1
+
+    def test_firing_counts_gap(benchmark):
+        """Semi-naive fires each derivation O(1) times; naive re-fires
+        everything every round; magic only fires what the query needs."""
+        n = 40
+        evaluator = SemiNaiveEvaluator(TC)
+        evaluator.evaluate(chain_db(n))
+        semi = evaluator.stats.rule_firings
+        naive_stats = EvaluationStats()
+        naive_least_fixpoint(TC, chain_db(n), stats=naive_stats)
+        magic_stats = EvaluationStats()
+        solve(
+            TC,
+            chain_db(n),
+            backend="magic",
+            query=SOURCE_QUERY,
+            stats=magic_stats,
+        )
+        benchmark.extra_info["semi_naive_firings"] = semi
+        benchmark.extra_info["naive_firings"] = naive_stats.rule_firings
+        benchmark.extra_info["magic_firings"] = magic_stats.rule_firings
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        assert naive_stats.rule_firings > 5 * semi
+        assert magic_stats.rule_firings * 5 < semi
+
+
+# ----------------------------------------------------------------------
+# Standalone head-to-head comparison (the CI smoke test)
+# ----------------------------------------------------------------------
+
+
+def run_comparison(sizes, naive_cap, repeat=3):
+    """Compare the backends on single-source reachability.
+
+    Returns (table rows, contract violations).  Naive evaluation is
+    O(n^3)-ish on this workload and is skipped above ``naive_cap``.
+    """
+    cache = ProgramCache()
+    rows = []
+    failures = []
+    largest = max(sizes)
+    for n in sizes:
+        db = chain_db(n)
+        backends = ["semi-naive", "magic"]
+        if n <= naive_cap:
+            backends.insert(0, "naive")
+        runs = {
+            r.backend: r
+            for r in compare_backends(
+                TC, db, SOURCE_QUERY, backends, repeat=repeat, cache=cache
+            )
+        }
+        semi, magic = runs["semi-naive"], runs["magic"]
+        for name in ["naive", "semi-naive", "magic"]:
+            run = runs.get(name)
+            if run is None:
+                rows.append([f"chain{n}", name, "-", "-", "-"])
+                continue
+            speedup = semi.ms / run.ms if run.ms else float("inf")
+            # sub-1x (naive) would truncate to a meaningless "0.0x"
+            shown = (
+                f"{speedup:.1f}x" if speedup >= 1 else f"1/{1 / speedup:.0f}x"
+            )
+            rows.append(
+                [
+                    f"chain{n}",
+                    name,
+                    run.facts_derived,
+                    format_ms(run.ms),
+                    shown,
+                ]
+            )
+        if not magic.facts_derived < semi.facts_derived:
+            failures.append(
+                f"chain{n}: magic derived {magic.facts_derived} facts, "
+                f"semi-naive {semi.facts_derived} -- not strictly fewer"
+            )
+        if n == largest and magic.ms * 2 > semi.ms:
+            failures.append(
+                f"chain{n}: magic {magic.ms:.1f}ms vs semi-naive "
+                f"{semi.ms:.1f}ms -- less than the required 2x speedup"
+            )
+    return rows, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller sizes and fewer repeats (the CI smoke test)",
     )
-    assert len(result.relation("path")) == n * (n - 1) // 2
-
-
-@pytest.mark.parametrize("n", SIZES[:2], ids=lambda n: f"chain{n}")
-def test_naive_transitive_closure(benchmark, n):
-    db = chain_db(n)
-    result = benchmark.pedantic(
-        naive_least_fixpoint, args=(TC, db), rounds=2, iterations=1
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help="chain lengths to benchmark (default 100 200 400)",
     )
-    assert len(result.relation("path")) == n * (n - 1) // 2
+    args = parser.parse_args(argv)
+    if args.sizes is not None:
+        sizes = args.sizes
+    elif args.quick:
+        sizes = [50, 100, 200]
+    else:
+        sizes = [100, 200, 400]
+    repeat = 2 if args.quick else 3
+    naive_cap = 50 if args.quick else 100
+
+    print(f"single-source reachability, query = {SOURCE_QUERY}")
+    rows, failures = run_comparison(sizes, naive_cap, repeat=repeat)
+    print(
+        format_table(
+            ["workload", "backend", "facts", "ms", "vs semi-naive"], rows
+        )
+    )
+    if failures:
+        print("\nCONTRACT VIOLATIONS:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nok: magic derives strictly fewer facts and is >= 2x faster "
+          "on the largest configuration")
+    return 0
 
 
-def test_firing_counts_gap(benchmark):
-    """Semi-naive fires each derivation O(1) times; naive re-fires
-    everything every round."""
-    n = 40
-    evaluator = SemiNaiveEvaluator(TC)
-    evaluator.evaluate(chain_db(n))
-    semi = evaluator.stats.rule_firings
-    naive_stats = EvaluationStats()
-    naive_least_fixpoint(TC, chain_db(n), stats=naive_stats)
-    benchmark.extra_info["semi_naive_firings"] = semi
-    benchmark.extra_info["naive_firings"] = naive_stats.rule_firings
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    assert naive_stats.rule_firings > 5 * semi
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,14 @@ MSO evaluation of the Example 2.6 query.
 Run:  python examples/quickstart.py
 """
 
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
 from repro.mso import evaluate, formulas
 from repro.problems import (
     PrimalityDatalog,
@@ -48,6 +56,9 @@ def main() -> None:
 
     datalog = PrimalityDatalog(schema)
     print(f"Datalog interpreter agrees on 'a': {datalog.decide('a', td)}")
+    goal_directed = PrimalityDatalog(schema, backend="magic")
+    print(f"Magic-set backend agrees on 'a': {goal_directed.decide('a', td)}"
+          "  (see examples/evaluation_backends.py)")
     print(f"Datalog interpreter agrees on 'e': {not datalog.decide('e', td)}")
 
     phi = formulas.primality("x")

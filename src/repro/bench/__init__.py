@@ -1,6 +1,14 @@
 """Benchmark harness shared by benchmarks/ and examples/."""
 
-from .harness import LinearityReport, fit_linear, format_ms, format_table, time_ms
+from .harness import (
+    BackendRun,
+    LinearityReport,
+    compare_backends,
+    fit_linear,
+    format_ms,
+    format_table,
+    time_ms,
+)
 from .table1 import (
     DECISION_ATTRIBUTE,
     PAPER_MD_MS,
@@ -13,8 +21,10 @@ from .table1 import (
 )
 
 __all__ = [
+    "BackendRun",
     "DECISION_ATTRIBUTE",
     "LinearityReport",
+    "compare_backends",
     "PAPER_MD_MS",
     "PAPER_MONA_MS",
     "PAPER_TREE_NODES",

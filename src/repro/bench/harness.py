@@ -12,6 +12,9 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from ..datalog.backends import get_backend
+from ..datalog.evaluate import EvaluationStats
+
 
 def time_ms(fn: Callable[[], object], repeat: int = 3) -> float:
     """Best-of-``repeat`` wall-clock time of ``fn()`` in milliseconds."""
@@ -47,6 +50,56 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
     lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
     lines += [fmt(row) for row in rows]
     return "\n".join(lines)
+
+
+@dataclass
+class BackendRun:
+    """One backend's cost on one workload instance."""
+
+    backend: str
+    ms: float
+    facts_derived: int
+    rule_firings: int
+
+
+def compare_backends(
+    program,
+    edb,
+    query=None,
+    backends: Sequence[str] | None = None,
+    repeat: int = 3,
+    cache=None,
+) -> list[BackendRun]:
+    """Head-to-head evaluation of the same workload on several backends.
+
+    ``backends`` defaults to all three when a ``query`` is given and to
+    the non-goal-directed pair otherwise (the magic backend needs a
+    query; naming it explicitly without one is still an error).  Each
+    backend gets one warm-up run (so the compiled-program cache is hot
+    and the timings measure per-structure work, which is what the
+    backends differ on), then best-of-``repeat`` wall clock.
+    """
+    if backends is None:
+        backends = (
+            ("naive", "semi-naive", "magic")
+            if query is not None
+            else ("naive", "semi-naive")
+        )
+    runs: list[BackendRun] = []
+    for name in backends:
+        backend = get_backend(name, cache)
+        # every backend accepts query=; non-goal-directed ones ignore it
+        backend.evaluate(program, edb, query=query)  # warm-up / cache fill
+        stats = EvaluationStats()
+        backend.evaluate(program, edb, query=query, stats=stats)
+        ms = time_ms(
+            lambda: backend.evaluate(program, edb, query=query),
+            repeat=repeat,
+        )
+        runs.append(
+            BackendRun(name, ms, stats.facts_derived, stats.rule_firings)
+        )
+    return runs
 
 
 @dataclass

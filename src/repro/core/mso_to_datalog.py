@@ -85,6 +85,22 @@ class CompiledQuery:
     def dependencies(self):
         return td_key_dependencies(self.width + 2)
 
+    def prepared(self, registry=None, cache=None):
+        """Stratification + join plans for this program, fetched from
+        (or added to) the compiled-program cache under this query's
+        (fingerprint, signature, width) context -- the solver pre-warms
+        through this so planning happens at construction, not first
+        solve."""
+        from ..datalog.backends import default_cache
+
+        cache = cache if cache is not None else default_cache()
+        return cache.prepared(
+            self.program,
+            registry,
+            signature=str(self.signature),
+            width=self.width,
+        )
+
 
 def _atom_patterns(
     signature: Signature, positions: int

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..datalog.ast import Program
+from ..datalog.backends import ProgramCache, default_cache
 from ..datalog.builtins import BuiltinRegistry
 from ..datalog.evaluate import Database
 from ..datalog.grounding import GroundingStats, evaluate_via_grounding
@@ -50,6 +51,7 @@ class QuasiGuardedEvaluator:
         dependencies: tuple[KeyDependency, ...] | None = None,
         registry: BuiltinRegistry | None = None,
         require_quasi_guarded: bool = True,
+        cache: ProgramCache | None = None,
     ):
         self.program = program
         if dependencies is None:
@@ -63,10 +65,17 @@ class QuasiGuardedEvaluator:
                 "program is not quasi-guarded under the declared key "
                 "dependencies (Definition 4.3)"
             )
+        cache = cache if cache is not None else default_cache()
+        # body ordering is per-program work; do it once, share via cache
+        self._prepared = cache.grounding(program, registry)
 
     def evaluate(self, data: Structure | Database) -> QuasiGuardedResult:
         stats = GroundingStats()
         facts = evaluate_via_grounding(
-            self.program, data, registry=self.registry, stats=stats
+            self.program,
+            data,
+            registry=self.registry,
+            stats=stats,
+            prepared=self._prepared,
         )
         return QuasiGuardedResult(frozenset(facts), stats.ground_rules)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..datalog.backends import ProgramCache, default_cache, get_backend
 from ..datalog.guards import is_quasi_guarded
 from ..mso.syntax import Formula
 from ..structures.signature import Signature
@@ -33,7 +34,17 @@ from .quasi_guarded import QuasiGuardedEvaluator
 
 
 class CourcelleSolver:
-    """Solve one MSO query over arbitrarily many width-w structures."""
+    """Solve one MSO query over arbitrarily many width-w structures.
+
+    ``backend`` selects how the compiled datalog program is evaluated
+    per structure: ``"quasi-guarded"`` (the default) runs the Theorem
+    4.4 grounding + Horn pipeline; any name registered in
+    :mod:`repro.datalog.backends` (``"naive"``, ``"semi-naive"``,
+    ``"magic"``) runs that bottom-up backend instead, with the magic
+    backend evaluating goal-directed on the answer predicate.  All
+    choices share the compiled-program cache, so per-program planning
+    happens once per (program fingerprint, signature, width).
+    """
 
     def __init__(
         self,
@@ -43,8 +54,12 @@ class CourcelleSolver:
         free_var: str | None = None,
         max_witness_size: int = 16,
         structure_filter=None,
+        backend: str = "quasi-guarded",
+        cache: ProgramCache | None = None,
     ):
         self._formula = formula
+        self.backend_name = backend
+        self.cache = cache if cache is not None else default_cache()
         if free_var is None:
             self.compiled: CompiledQuery = compile_sentence(
                 formula,
@@ -68,10 +83,34 @@ class CourcelleSolver:
             raise AssertionError(
                 "compiled program is not quasi-guarded -- Theorem 4.5 violated"
             )
-        self.evaluator = QuasiGuardedEvaluator(
-            self.compiled.program,
-            dependencies=self.compiled.dependencies(),
+        if backend == "quasi-guarded":
+            self._backend = None
+            self.evaluator = QuasiGuardedEvaluator(
+                self.compiled.program,
+                dependencies=self.compiled.dependencies(),
+                cache=self.cache,
+            )
+        else:
+            self._backend = get_backend(backend, self.cache)
+            self.evaluator = None
+            if backend != "magic":
+                # pay the planning cost now, not on the first solve
+                # (magic plans its rewritten program instead)
+                self.compiled.prepared(cache=self.cache)
+
+    def _backend_answers(self, encoded) -> frozenset:
+        """Evaluate via the pluggable backend; the set of phi-tuples."""
+        program = self.compiled.program
+        if ANSWER_PREDICATE not in program.intensional_predicates():
+            return frozenset()  # the compiler emitted no answer rules
+        db = self._backend.evaluate(
+            program,
+            encoded,
+            query=ANSWER_PREDICATE,
+            signature=str(self.compiled.signature),
+            width=self.compiled.width,
         )
+        return frozenset(db.relation(ANSWER_PREDICATE))
 
     # ------------------------------------------------------------------
 
@@ -106,6 +145,8 @@ class CourcelleSolver:
 
             return evaluate(structure, self.compiled_formula())
         encoded = self._prepare(structure, td)
+        if self._backend is not None:
+            return () in self._backend_answers(encoded)
         result = self.evaluator.evaluate(encoded)
         return result.holds(ANSWER_PREDICATE)
 
@@ -122,6 +163,10 @@ class CourcelleSolver:
                 structure, self.compiled_formula(), self.compiled.free_var
             )
         encoded = self._prepare(structure, td)
+        if self._backend is not None:
+            return frozenset(
+                args[0] for args in self._backend_answers(encoded)
+            )
         result = self.evaluator.evaluate(encoded)
         return result.unary_answers(ANSWER_PREDICATE)
 

@@ -1,15 +1,24 @@
-"""Bottom-up datalog evaluation (naive and semi-naive).
+"""Bottom-up datalog evaluation (the naive and semi-naive backends).
 
 The least fixpoint of ``P ∪ A`` (Section 2.4) is computed bottom-up.
-``SemiNaiveEvaluator`` implements stratified semi-naive evaluation with
-on-demand hash indexes and built-in predicates; ``naive_least_fixpoint``
-re-derives everything each round and exists as the ablation baseline for
-the engine benchmark.
+This module is the substrate for the three pluggable evaluation
+backends registered in :mod:`repro.datalog.backends`:
 
-This evaluator is the "interpreter" of Section 6; the lazy behaviour the
-paper highlights as optimization (2) -- "generating only those ground
-instances of rules which actually produce new facts" -- is exactly what
-semi-naive join evaluation does.
+* ``naive`` -- :func:`naive_least_fixpoint`, Jacobi-style re-derivation
+  each round; the ablation baseline for the engine benchmark;
+* ``semi-naive`` -- :class:`SemiNaiveEvaluator`, stratified delta-driven
+  evaluation with on-demand hash indexes and built-in predicates; the
+  "interpreter" of Section 6, whose lazy behaviour is the paper's
+  optimization (2): "generating only those ground instances of rules
+  which actually produce new facts";
+* ``magic`` -- the demand transformation of :mod:`repro.datalog.magic`,
+  which rewrites the program relative to a query atom and then runs the
+  semi-naive evaluator on the rewritten program, deriving only facts
+  relevant to the query.
+
+Stratification and per-rule join plans are computed once per program by
+:func:`prepare_program` and reused across structures (and cached across
+solver instances by :class:`repro.datalog.backends.ProgramCache`).
 """
 
 from __future__ import annotations
@@ -180,7 +189,11 @@ class PlanStep:
 
 
 def plan_rule(
-    rule: Rule, idb: frozenset[str], registry: BuiltinRegistry
+    rule: Rule,
+    idb: frozenset[str],
+    registry: BuiltinRegistry,
+    *,
+    initial_bound: Iterable[Variable] = (),
 ) -> tuple[PlanStep, ...]:
     """Order the body so every step can run with earlier bindings.
 
@@ -188,9 +201,13 @@ def plan_rule(
     then built-ins whose binding pattern is satisfied, then fully-bound
     negations.  Raises :class:`UnsafeRuleError` when stuck, which also
     catches the classic safety violations.
+
+    ``initial_bound`` lists variables already bound before the body
+    runs; the magic-set rewriting uses it as the sideways-information-
+    passing order with the head's bound arguments pre-bound.
     """
     remaining: list[tuple[int, Literal]] = list(enumerate(rule.body))
-    bound: set[Variable] = set()
+    bound: set[Variable] = set(initial_bound)
     plan: list[PlanStep] = []
 
     def atom_mask(a: Atom) -> tuple[bool, ...]:
@@ -290,6 +307,98 @@ class EvaluationStats:
     iterations: int = 0
 
 
+@dataclass(frozen=True)
+class StratumPlan:
+    """The rules of one stratum, pre-resolved for the fixpoint loop."""
+
+    rule_indices: tuple[int, ...]
+    #: per rule (parallel to ``rule_indices``): body positions holding a
+    #: positive atom of this stratum -- the delta-restriction targets.
+    recursive_positions: tuple[tuple[int, ...], ...]
+
+
+@dataclass(frozen=True)
+class PreparedProgram:
+    """A program with stratification and join plans computed once.
+
+    Building one of these is the per-program cost of evaluation (plan
+    ordering, stratification, the safety checks); evaluating a prepared
+    program over a structure is the per-structure cost.  Prepared
+    programs are immutable and shared freely across evaluator instances
+    -- :class:`repro.datalog.backends.ProgramCache` keeps them keyed by
+    program fingerprint so repeated solves skip this work entirely.
+    """
+
+    program: Program
+    registry: BuiltinRegistry
+    idb: frozenset[str]
+    strata: tuple[frozenset[str], ...]
+    plans: tuple[tuple[PlanStep, ...], ...]  # parallel to program.rules
+    stratum_plans: tuple[StratumPlan, ...]  # parallel to strata
+
+
+def prepare_program(
+    program: Program, registry: BuiltinRegistry | None = None
+) -> PreparedProgram:
+    """Stratify, safety-check, and plan every rule of ``program``."""
+    registry = registry if registry is not None else standard_registry()
+    idb = program.intensional_predicates()
+    overlap = idb & registry.names()
+    if overlap:
+        raise ValueError(
+            f"predicates defined both by rules and built-ins: {sorted(overlap)}"
+        )
+    strata = tuple(stratify(program))
+    _check_negation_stratified(program, idb, strata)
+    plans = tuple(
+        plan_rule(rule, idb, registry) for rule in program.rules
+    )
+    stratum_plans = []
+    for stratum in strata:
+        indices = tuple(
+            i
+            for i, rule in enumerate(program.rules)
+            if rule.head.predicate in stratum
+        )
+        recursive = tuple(
+            tuple(
+                pos
+                for pos, literal in enumerate(program.rules[i].body)
+                if literal.positive and literal.atom.predicate in stratum
+            )
+            for i in indices
+        )
+        stratum_plans.append(StratumPlan(indices, recursive))
+    return PreparedProgram(
+        program=program,
+        registry=registry,
+        idb=idb,
+        strata=strata,
+        plans=plans,
+        stratum_plans=tuple(stratum_plans),
+    )
+
+
+def _check_negation_stratified(
+    program: Program,
+    idb: frozenset[str],
+    strata: Sequence[frozenset[str]],
+) -> None:
+    level = {}
+    for i, stratum in enumerate(strata):
+        for p in stratum:
+            level[p] = i
+    for rule in program.rules:
+        head_level = level[rule.head.predicate]
+        for literal in rule.body:
+            p = literal.atom.predicate
+            if p in idb and not literal.positive:
+                if level[p] >= head_level:
+                    raise NotStratifiableError(
+                        f"negated IDB atom {literal} not on a lower stratum"
+                    )
+
+
 class SemiNaiveEvaluator:
     """Stratified semi-naive evaluation of a program over a database."""
 
@@ -297,37 +406,21 @@ class SemiNaiveEvaluator:
         self,
         program: Program,
         registry: BuiltinRegistry | None = None,
+        prepared: PreparedProgram | None = None,
     ):
-        self.program = program
-        self.registry = registry if registry is not None else standard_registry()
-        self.idb = program.intensional_predicates()
-        overlap = self.idb & self.registry.names()
-        if overlap:
-            raise ValueError(
-                f"predicates defined both by rules and built-ins: {sorted(overlap)}"
-            )
-        self.strata = stratify(program)
-        self._check_negation_stratified()
-        self._plans = {
-            id(rule): plan_rule(rule, self.idb, self.registry)
-            for rule in program.rules
-        }
+        if prepared is None:
+            prepared = prepare_program(program, registry)
+        self.prepared = prepared
+        self.program = prepared.program
+        self.registry = prepared.registry
+        self.idb = prepared.idb
+        self.strata = list(prepared.strata)
         self.stats = EvaluationStats()
 
-    def _check_negation_stratified(self) -> None:
-        level = {}
-        for i, stratum in enumerate(self.strata):
-            for p in stratum:
-                level[p] = i
-        for rule in self.program.rules:
-            head_level = level[rule.head.predicate]
-            for literal in rule.body:
-                p = literal.atom.predicate
-                if p in self.idb and not literal.positive:
-                    if level[p] >= head_level:
-                        raise NotStratifiableError(
-                            f"negated IDB atom {literal} not on a lower stratum"
-                        )
+    @classmethod
+    def from_prepared(cls, prepared: PreparedProgram) -> "SemiNaiveEvaluator":
+        """An evaluator that skips all per-program work (cache hits)."""
+        return cls(prepared.program, prepared=prepared)
 
     # -- rule evaluation ------------------------------------------------
 
@@ -384,13 +477,14 @@ class SemiNaiveEvaluator:
 
     def _fire(
         self,
-        rule: Rule,
+        rule_index: int,
         db: Database,
         out: list[Fact],
         delta_index: int | None = None,
         delta: Database | None = None,
     ) -> None:
-        plan = self._plans[id(rule)]
+        rule = self.program.rules[rule_index]
+        plan = self.prepared.plans[rule_index]
         for binding in self._solutions(plan, db, delta_index, delta):
             self.stats.rule_firings += 1
             head = rule.head.substitute(
@@ -410,24 +504,12 @@ class SemiNaiveEvaluator:
         else:
             db = Database.from_facts(edb)
 
-        for stratum in self.strata:
-            rules = [
-                r for r in self.program.rules if r.head.predicate in stratum
-            ]
-            recursive_indices: dict[int, list[int]] = {}
-            for rule_pos, rule in enumerate(rules):
-                positions = [
-                    i
-                    for i, literal in enumerate(rule.body)
-                    if literal.positive and literal.atom.predicate in stratum
-                ]
-                recursive_indices[rule_pos] = positions
-
+        for stratum_plan in self.prepared.stratum_plans:
             # round 0: every rule once against the current database
             delta = Database()
             derived: list[Fact] = []
-            for rule in rules:
-                self._fire(rule, db, derived)
+            for rule_index in stratum_plan.rule_indices:
+                self._fire(rule_index, db, derived)
             for fact in derived:
                 if db.add(fact.predicate, fact.args):
                     delta.add(fact.predicate, fact.args)
@@ -438,10 +520,16 @@ class SemiNaiveEvaluator:
                 self.stats.iterations += 1
                 new_delta = Database()
                 derived = []
-                for rule_pos, rule in enumerate(rules):
-                    for body_index in recursive_indices[rule_pos]:
+                for rule_index, positions in zip(
+                    stratum_plan.rule_indices, stratum_plan.recursive_positions
+                ):
+                    for body_index in positions:
                         self._fire(
-                            rule, db, derived, delta_index=body_index, delta=delta
+                            rule_index,
+                            db,
+                            derived,
+                            delta_index=body_index,
+                            delta=delta,
                         )
                 for fact in derived:
                     if db.add(fact.predicate, fact.args):
@@ -465,13 +553,14 @@ def naive_least_fixpoint(
     edb: Database | Iterable[Fact] | Structure,
     registry: BuiltinRegistry | None = None,
     stats: EvaluationStats | None = None,
+    prepared: PreparedProgram | None = None,
 ) -> Database:
     """Naive (Jacobi-style) fixpoint: re-fire every rule each round.
 
     Semantically identical to :func:`least_fixpoint`; exists as the
     baseline of the engine ablation benchmark.
     """
-    evaluator = SemiNaiveEvaluator(program, registry)
+    evaluator = SemiNaiveEvaluator(program, registry, prepared=prepared)
     if stats is not None:
         evaluator.stats = stats
     if isinstance(edb, Structure):
@@ -480,15 +569,14 @@ def naive_least_fixpoint(
         db = edb.copy()
     else:
         db = Database.from_facts(edb)
-    for stratum in evaluator.strata:
-        rules = [r for r in program.rules if r.head.predicate in stratum]
+    for stratum_plan in evaluator.prepared.stratum_plans:
         changed = True
         while changed:
             changed = False
             evaluator.stats.iterations += 1
             derived: list[Fact] = []
-            for rule in rules:
-                evaluator._fire(rule, db, derived)
+            for rule_index in stratum_plan.rule_indices:
+                evaluator._fire(rule_index, db, derived)
             for fact in derived:
                 if db.add(fact.predicate, fact.args):
                     evaluator.stats.facts_derived += 1

@@ -37,6 +37,36 @@ class GroundingStats:
     killed_by_extensional: int = 0
 
 
+@dataclass(frozen=True)
+class PreparedGrounding:
+    """Per-rule extensional join orders, computed once per program.
+
+    Grounding the same compiled program over many structures (the
+    Theorem 4.5 amortization) re-runs only the data-dependent half;
+    the body-ordering half lives here and is cached by
+    :class:`repro.datalog.backends.ProgramCache`.
+    """
+
+    program: Program
+    registry: BuiltinRegistry
+    #: parallel to ``program.rules``: (ordered extensional literals,
+    #: intensional body literals)
+    plans: tuple[tuple[tuple[Literal, ...], tuple[Literal, ...]], ...]
+
+
+def prepare_grounding(
+    program: Program, registry: BuiltinRegistry | None = None
+) -> PreparedGrounding:
+    """Order every rule's extensional body ahead of time."""
+    registry = registry if registry is not None else standard_registry()
+    idb = program.intensional_predicates()
+    plans = tuple(
+        tuple(map(tuple, _plan_extensional(rule, idb, registry)))
+        for rule in program.rules
+    )
+    return PreparedGrounding(program, registry, plans)
+
+
 def _plan_extensional(
     rule: Rule,
     idb: frozenset[str],
@@ -119,21 +149,25 @@ def ground_program(
     db: Database | Structure,
     registry: BuiltinRegistry | None = None,
     stats: GroundingStats | None = None,
+    prepared: PreparedGrounding | None = None,
 ) -> list[GroundRule]:
     """All supported ground instances, as propositional Horn rules.
 
     Propositional atoms are :class:`repro.structures.structure.Fact`
-    values of the intensional predicates.
+    values of the intensional predicates.  ``prepared`` (from
+    :func:`prepare_grounding`) skips re-ordering the rule bodies.
     """
     if isinstance(db, Structure):
         db = Database.from_structure(db)
-    registry = registry if registry is not None else standard_registry()
+    if prepared is None:
+        prepared = prepare_grounding(program, registry)
+    registry = prepared.registry
     stats = stats if stats is not None else GroundingStats()
-    idb = program.intensional_predicates()
     ground_rules: list[GroundRule] = []
 
-    for rule in program.rules:
-        ordered, idb_literals = _plan_extensional(rule, idb, registry)
+    for rule, (ordered, idb_literals) in zip(
+        prepared.program.rules, prepared.plans
+    ):
         bindings: list[dict] = [{}]
         for literal in ordered:
             atom = literal.atom
@@ -191,11 +225,12 @@ def evaluate_via_grounding(
     db: Database | Structure,
     registry: BuiltinRegistry | None = None,
     stats: GroundingStats | None = None,
+    prepared: PreparedGrounding | None = None,
 ) -> set[Fact]:
     """The Theorem 4.4 pipeline: ground, then linear-time Horn solving.
 
     Returns the derived intensional facts (the extensional database is
     unchanged and not repeated in the result).
     """
-    rules = ground_program(program, db, registry, stats)
+    rules = ground_program(program, db, registry, stats, prepared=prepared)
     return set(horn_least_model(rules))

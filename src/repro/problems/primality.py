@@ -41,6 +41,7 @@ from ..datalog.builtins import (
     make_function,
     standard_registry,
 )
+from ..datalog.backends import ProgramCache, get_backend
 from ..datalog.evaluate import Database, SemiNaiveEvaluator
 from ..structures.schema import Attribute, RelationalSchema
 from ..structures.structure import Structure
@@ -805,11 +806,20 @@ def primality_program(attribute: Attribute) -> Program:
 
 
 class PrimalityDatalog:
-    """Figure 6, executed by the semi-naive datalog engine."""
+    """Figure 6, executed by a pluggable datalog backend.
 
-    def __init__(self, schema: RelationalSchema):
+    ``backend`` is any name registered in
+    :mod:`repro.datalog.backends`; ``"magic"`` evaluates goal-directed
+    on the 0-ary ``success`` predicate.  The cache is per-instance
+    because :func:`primality_registry` bakes the schema into its
+    built-ins (same names, schema-specific semantics).
+    """
+
+    def __init__(self, schema: RelationalSchema, backend: str = "semi-naive"):
         self.schema = schema
         self.registry = primality_registry(schema)
+        self.backend_name = backend
+        self._cache = ProgramCache()
 
     def decide(
         self,
@@ -819,8 +829,10 @@ class PrimalityDatalog:
         nice = prepare_decision_decomposition(self.schema, attribute, td)
         encoded = encode_for_primality(self.schema, nice)
         program = primality_program(attribute)
-        evaluator = SemiNaiveEvaluator(program, self.registry)
-        db = evaluator.evaluate(encoded)
+        backend = get_backend(self.backend_name, self._cache)
+        db = backend.evaluate(
+            program, encoded, registry=self.registry, query="success"
+        )
         return db.contains("success", ())
 
 

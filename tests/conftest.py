@@ -7,6 +7,15 @@ import random
 import pytest
 from hypothesis import HealthCheck, settings, strategies as st
 
+from repro.datalog import (
+    Atom,
+    Constant,
+    Database,
+    Literal,
+    Program,
+    Rule,
+    Variable,
+)
 from repro.structures import FunctionalDependency, Graph, RelationalSchema
 
 settings.register_profile(
@@ -74,6 +83,97 @@ def small_schemas(draw, max_attrs: int = 6, max_fds: int = 5):
         )
         fds.append(FunctionalDependency(f"f{i + 1}", lhs, rhs))
     return RelationalSchema(attrs, fds)
+
+
+#: the canonical query-driven workload shared by the backend and cache
+#: tests (and mirrored by benchmarks/bench_datalog_engine.py): right-
+#: linear transitive closure, whose linearity is load-bearing for the
+#: magic-set O(n) single-source claim.
+TC_TEXT = """
+    path(X, Y) :- edge(X, Y).
+    path(X, Z) :- path(X, Y), edge(Y, Z).
+"""
+
+
+def chain_edges(n: int) -> Database:
+    """An n-node chain as an ``edge`` database."""
+    db = Database()
+    for i in range(n - 1):
+        db.add("edge", (i, i + 1))
+    return db
+
+
+#: vocabulary shared by the random-program strategies: fixed arities so
+#: generated rules and databases always line up.
+EDB_ARITIES = {"edge": 2, "color": 1}
+IDB_ARITIES = {"p": 2, "q": 1, "r": 1}
+DATALOG_DOMAIN = list(range(5))
+
+_VARS = [Variable(n) for n in ("X", "Y", "Z")]
+
+
+@st.composite
+def _rule(draw):
+    """One safe rule: all variables occur in a positive body literal."""
+    body: list[Literal] = []
+    n_literals = draw(st.integers(min_value=1, max_value=3))
+    all_preds = {**EDB_ARITIES, **IDB_ARITIES}
+    for _ in range(n_literals):
+        pred = draw(st.sampled_from(sorted(all_preds)))
+        args = tuple(
+            draw(st.sampled_from(_VARS))
+            for _ in range(all_preds[pred])
+        )
+        body.append(Literal(Atom(pred, args)))
+    bound = sorted(
+        {a for lit in body for a in lit.atom.args}, key=lambda v: v.name
+    )
+    # optional negated *extensional* literal over already-bound variables
+    if draw(st.booleans()):
+        pred = draw(st.sampled_from(sorted(EDB_ARITIES)))
+        args = tuple(
+            draw(
+                st.one_of(
+                    st.sampled_from(bound),
+                    st.sampled_from(DATALOG_DOMAIN).map(Constant),
+                )
+            )
+            for _ in range(EDB_ARITIES[pred])
+        )
+        body.append(Literal(Atom(pred, args), positive=False))
+    head_pred = draw(st.sampled_from(sorted(IDB_ARITIES)))
+    head_args = tuple(
+        draw(
+            st.one_of(
+                st.sampled_from(bound),
+                st.sampled_from(DATALOG_DOMAIN).map(Constant),
+            )
+        )
+        for _ in range(IDB_ARITIES[head_pred])
+    )
+    return Rule(Atom(head_pred, head_args), tuple(body))
+
+
+@st.composite
+def datalog_programs(draw, max_rules: int = 5):
+    """Random safe, stratified programs over the shared vocabulary."""
+    n = draw(st.integers(min_value=1, max_value=max_rules))
+    return Program([draw(_rule()) for _ in range(n)])
+
+
+@st.composite
+def datalog_databases(draw, max_facts: int = 12):
+    """Random extensional databases matching the shared vocabulary."""
+    db = Database()
+    n = draw(st.integers(min_value=0, max_value=max_facts))
+    for _ in range(n):
+        pred = draw(st.sampled_from(sorted(EDB_ARITIES)))
+        args = tuple(
+            draw(st.sampled_from(DATALOG_DOMAIN))
+            for _ in range(EDB_ARITIES[pred])
+        )
+        db.add(pred, args)
+    return db
 
 
 @pytest.fixture

@@ -76,3 +76,54 @@ class TestIsolatedQuery:
         g = Graph(vertices=[0, 1, 2, 3], edges=[(0, 1)])
         s = graph_to_structure(g)
         assert isolated_solver.query(s) == frozenset({2, 3})
+
+
+class TestPluggableBackends:
+    """The solver's backend= threading: every evaluation backend must
+    return the same answers as the quasi-guarded default."""
+
+    @pytest.mark.parametrize("backend", ["naive", "semi-naive", "magic"])
+    def test_query_agrees_with_quasi_guarded(self, solver, backend):
+        alt = CourcelleSolver(
+            formulas.has_neighbor("x"),
+            GRAPH_SIGNATURE,
+            width=1,
+            free_var="x",
+            structure_filter=undirected_graph_filter,
+            backend=backend,
+        )
+        for g in [
+            Graph.path(6),
+            Graph(vertices=[0, 1, 2, 3], edges=[(1, 2)]),
+            Graph(vertices=[0, 1, 2]),
+        ]:
+            s = graph_to_structure(g)
+            assert alt.query(s) == solver.query(s), backend
+
+    @pytest.mark.parametrize("backend", ["semi-naive", "magic"])
+    def test_decide_sentence_across_backends(self, backend):
+        """The 0-ary answer path: φ holds iff some p and some non-p."""
+        from repro.mso import And, ExistsInd, Not, RelAtom, evaluate
+        from repro.structures import Signature, Structure
+
+        psig = Signature.of(p=1)
+        sentence = ExistsInd(
+            "x",
+            And(RelAtom("p", ("x",)), ExistsInd("y", Not(RelAtom("p", ("y",))))),
+        )
+        s = CourcelleSolver(sentence, psig, width=1, backend=backend)
+        mixed = Structure(psig, [0, 1, 2], {"p": {(0,)}})
+        empty = Structure(psig, [0, 1, 2], {"p": set()})
+        assert s.decide(mixed) == evaluate(mixed, sentence) is True
+        assert s.decide(empty) == evaluate(empty, sentence) is False
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown evaluation backend"):
+            CourcelleSolver(
+                formulas.has_neighbor("x"),
+                GRAPH_SIGNATURE,
+                width=1,
+                free_var="x",
+                structure_filter=undirected_graph_filter,
+                backend="quantum",
+            )

@@ -1,0 +1,205 @@
+"""The compiled-program cache: hits, misses, isolation."""
+
+from repro.datalog import (
+    BuiltinRegistry,
+    Database,
+    ProgramCache,
+    atom,
+    const,
+    default_cache,
+    make_check,
+    parse_program,
+    program_fingerprint,
+    solve,
+    var,
+)
+
+from ..conftest import TC_TEXT, chain_edges as chain_db
+
+
+class TestFingerprint:
+    def test_reparsed_program_same_fingerprint(self):
+        assert program_fingerprint(parse_program(TC_TEXT)) == (
+            program_fingerprint(parse_program(TC_TEXT))
+        )
+
+    def test_changed_program_different_fingerprint(self):
+        other = parse_program(TC_TEXT + "\nloop(X) :- path(X, X).")
+        assert program_fingerprint(parse_program(TC_TEXT)) != (
+            program_fingerprint(other)
+        )
+
+
+class TestFingerprintCollisions:
+    """str()-alike programs must not share cache entries."""
+
+    def test_constant_type_distinguished(self):
+        from repro.datalog import Atom, Constant, Literal, Program, Rule, Variable
+
+        X = Variable("X")
+        int_zero = Program(
+            [Rule(Atom("q", (X,)), (Literal(Atom("edge", (X, Constant(0)))),))]
+        )
+        str_zero = Program(
+            [Rule(Atom("q", (X,)), (Literal(Atom("edge", (X, Constant("0")))),))]
+        )
+        assert program_fingerprint(int_zero) != program_fingerprint(str_zero)
+        db = Database()
+        db.add("edge", (1, "0"))
+        db.add("edge", (2, 0))
+        cache = ProgramCache()
+        assert solve(int_zero, db, cache=cache).relation("q") == {(2,)}
+        assert solve(str_zero, db, cache=cache).relation("q") == {(1,)}
+
+    def test_variable_vs_constant_query_key(self):
+        from repro.datalog import Atom, Constant, Literal, Program, Rule, Variable
+
+        X = Variable("X")
+        program = Program(
+            [Rule(Atom("q", (X,)), (Literal(Atom("edge", (X, Variable("A")))),))]
+        )
+        db = Database()
+        db.add("edge", (1, "x"))
+        cache = ProgramCache()
+        free = solve(
+            program, db, backend="magic",
+            query=Atom("q", (Variable("A"),)), cache=cache,
+        )
+        bound = solve(
+            program, db, backend="magic",
+            query=Atom("q", (Constant("A"),)), cache=cache,
+        )
+        assert free.relation("q") == {(1,)}
+        assert bound.relation("q") == set()
+
+
+class TestCacheHits:
+    def test_resolve_different_structure_hits(self):
+        """Same program text, new Program object, new structure: the
+        planning work is reused, only the data half re-runs."""
+        cache = ProgramCache()
+        first = solve(
+            parse_program(TC_TEXT), chain_db(5), backend="semi-naive",
+            cache=cache,
+        )
+        assert cache.stats.misses == 1 and cache.stats.hits == 0
+        second = solve(
+            parse_program(TC_TEXT), chain_db(9), backend="semi-naive",
+            cache=cache,
+        )
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+        assert len(first.relation("path")) == 5 * 4 // 2
+        assert len(second.relation("path")) == 9 * 8 // 2
+
+    def test_magic_rewrite_cached_per_query(self):
+        cache = ProgramCache()
+        query = atom("path", const(0), var("Y"))
+        for n in (4, 7, 11):
+            solve(
+                parse_program(TC_TEXT), chain_db(n), backend="magic",
+                query=query, cache=cache,
+            )
+        assert cache.stats.misses == 1 and cache.stats.hits == 2
+        # a different binding pattern is a different rewrite
+        solve(
+            parse_program(TC_TEXT), chain_db(4), backend="magic",
+            query="path", cache=cache,
+        )
+        assert cache.stats.misses == 2
+
+    def test_program_change_misses(self):
+        cache = ProgramCache()
+        solve(parse_program(TC_TEXT), chain_db(4), cache=cache)
+        solve(
+            parse_program(TC_TEXT + "\nloop(X) :- path(X, X)."),
+            chain_db(4),
+            cache=cache,
+        )
+        assert cache.stats.misses == 2 and cache.stats.hits == 0
+
+    def test_eviction_is_bounded(self):
+        cache = ProgramCache(maxsize=1)
+        solve(parse_program(TC_TEXT), chain_db(4), cache=cache)
+        solve(
+            parse_program("p(X) :- edge(X, Y)."), chain_db(4), cache=cache
+        )
+        assert len(cache) == 1
+        assert cache.stats.evictions == 1
+
+
+class TestNoCrossContamination:
+    def test_interleaved_programs_keep_their_answers(self):
+        cache = ProgramCache()
+        forward = parse_program("next(X, Y) :- edge(X, Y).")
+        backward = parse_program("next(X, Y) :- edge(Y, X).")
+        db = Database()
+        db.add("edge", (1, 2))
+        for _ in range(2):
+            assert solve(forward, db, cache=cache).relation("next") == {
+                (1, 2)
+            }
+            assert solve(backward, db, cache=cache).relation("next") == {
+                (2, 1)
+            }
+        assert cache.stats.hits == 2 and cache.stats.misses == 2
+
+    def test_same_named_builtins_different_semantics_do_not_collide(self):
+        """Registries enter the key by identity: primality_registry-
+        style schema-specific built-ins must not share plans/results."""
+        program_text = "even(X) :- node(X), test(X)."
+        db = Database()
+        for i in range(6):
+            db.add("node", (i,))
+        cache = ProgramCache()
+
+        def registry_with(test):
+            registry = BuiltinRegistry()
+            registry.register(make_check("test", 1, test))
+            return registry
+
+        evens = solve(
+            parse_program(program_text),
+            db,
+            cache=cache,
+            registry=registry_with(lambda x: x % 2 == 0),
+        )
+        odds = solve(
+            parse_program(program_text),
+            db,
+            cache=cache,
+            registry=registry_with(lambda x: x % 2 == 1),
+        )
+        assert evens.relation("even") == {(0,), (2,), (4,)}
+        assert odds.relation("even") == {(1,), (3,), (5,)}
+        assert cache.stats.misses == 2
+
+    def test_evaluations_do_not_leak_facts_between_structures(self):
+        cache = ProgramCache()
+        program = parse_program(TC_TEXT)
+        solve(program, chain_db(9), cache=cache)
+        small = solve(program, chain_db(3), cache=cache)
+        assert small.relation("path") == {(0, 1), (1, 2), (0, 2)}
+
+
+class TestGroundingCache:
+    def test_quasi_guarded_evaluators_share_plans(self):
+        from repro.core import QuasiGuardedEvaluator
+        from repro.datalog import td_key_dependencies
+
+        program = parse_program(
+            """
+            solve(V) :- leaf(V).
+            solve(V) :- child1(V, W), solve(W).
+            """
+        )
+        deps = td_key_dependencies(1)
+        cache = ProgramCache()
+        QuasiGuardedEvaluator(program, dependencies=deps, cache=cache)
+        assert cache.stats.misses == 1
+        QuasiGuardedEvaluator(program, dependencies=deps, cache=cache)
+        assert cache.stats.hits == 1
+
+
+class TestDefaultCache:
+    def test_default_cache_is_shared(self):
+        assert default_cache() is default_cache()
