@@ -72,18 +72,19 @@ def compare_backends(
 ) -> list[BackendRun]:
     """Head-to-head evaluation of the same workload on several backends.
 
-    ``backends`` defaults to all three when a ``query`` is given and to
-    the non-goal-directed pair otherwise (the magic backend needs a
-    query; naming it explicitly without one is still an error).  Each
-    backend gets one warm-up run (so the compiled-program cache is hot
-    and the timings measure per-structure work, which is what the
-    backends differ on), then best-of-``repeat`` wall clock.
+    ``backends`` defaults to every shipped backend when a ``query`` is
+    given and to the non-goal-directed ones otherwise (the magic
+    backend needs a query; naming it explicitly without one is still
+    an error).  Each backend gets one warm-up run (so the
+    compiled-program cache is hot and the timings measure
+    per-structure work, which is what the backends differ on), then
+    best-of-``repeat`` wall clock.
     """
     if backends is None:
         backends = (
-            ("naive", "semi-naive", "magic")
+            ("naive", "semi-naive", "semi-naive-tuple", "magic")
             if query is not None
-            else ("naive", "semi-naive")
+            else ("naive", "semi-naive", "semi-naive-tuple")
         )
     runs: list[BackendRun] = []
     for name in backends:

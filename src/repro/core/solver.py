@@ -39,11 +39,12 @@ class CourcelleSolver:
     ``backend`` selects how the compiled datalog program is evaluated
     per structure: ``"quasi-guarded"`` (the default) runs the Theorem
     4.4 grounding + Horn pipeline; any name registered in
-    :mod:`repro.datalog.backends` (``"naive"``, ``"semi-naive"``,
-    ``"magic"``) runs that bottom-up backend instead, with the magic
-    backend evaluating goal-directed on the answer predicate.  All
-    choices share the compiled-program cache, so per-program planning
-    happens once per (program fingerprint, signature, width).
+    :mod:`repro.datalog.backends` (``"naive"``, ``"semi-naive"`` --
+    the set-at-a-time engine, ``"semi-naive-tuple"``, ``"magic"``)
+    runs that bottom-up backend instead, with the magic backend
+    evaluating goal-directed on the answer predicate.  All choices
+    share the compiled-program cache, so per-program planning happens
+    once per (program fingerprint, signature, width).
     """
 
     def __init__(

@@ -5,16 +5,25 @@ callers (``core/solver.py``, the problem modules, the benchmark
 harness) pick *how* a program is evaluated without knowing the
 mechanics.  Three backends ship:
 
-* ``naive``      -- Jacobi-style re-derivation each round (ablation
-                    baseline);
-* ``semi-naive`` -- stratified delta-driven fixpoint (the default; the
-                    paper's Section 6 interpreter);
-* ``magic``      -- magic-set / demand transformation relative to a
-                    query atom (:mod:`repro.datalog.magic`) followed by
-                    semi-naive evaluation of the rewritten program:
-                    goal-directed, derives only query-relevant facts.
+* ``naive``            -- Jacobi-style re-derivation each round
+                          (ablation baseline);
+* ``semi-naive``       -- stratified delta-driven fixpoint executed
+                          set-at-a-time (:mod:`repro.datalog.setengine`:
+                          interned constants, columnar batches,
+                          relation-level hash joins, bitset unary
+                          relations); the default engine;
+* ``semi-naive-tuple`` -- the tuple-at-a-time execution of the same
+                          plans (:class:`SemiNaiveEvaluator`); kept as
+                          the ablation baseline for the set-at-a-time
+                          speedup benchmark;
+* ``magic``            -- magic-set / demand transformation relative to
+                          a query atom (:mod:`repro.datalog.magic`)
+                          followed by set-at-a-time semi-naive
+                          evaluation of the rewritten program:
+                          goal-directed, derives only query-relevant
+                          facts.
 
-All three share :class:`ProgramCache`, keyed by ``(program
+All of them share :class:`ProgramCache`, keyed by ``(program
 fingerprint, signature, width)`` (plus the query pattern for magic
 rewrites), so repeated solves over different structures skip rule
 planning, stratification, and the magic rewriting itself -- the
@@ -44,6 +53,7 @@ from .evaluate import (
 )
 from .grounding import PreparedGrounding, prepare_grounding
 from .magic import MagicRewrite, magic_rewrite, normalize_query
+from .setengine import SetSemiNaiveEvaluator
 
 #: the registry that ``registry=None`` resolves to inside the cache, so
 #: default callers share cache entries instead of each fresh
@@ -328,9 +338,43 @@ class NaiveBackend:
 
 
 class SemiNaiveBackend:
-    """Stratified delta-driven fixpoint (the default backend)."""
+    """Stratified delta-driven fixpoint, executed set-at-a-time (the
+    default backend): interned constants, columnar batches,
+    relation-level hash joins, bitset unary relations."""
 
     name = "semi-naive"
+
+    def __init__(self, cache: ProgramCache | None = None):
+        self.cache = cache if cache is not None else default_cache()
+
+    def evaluate(
+        self,
+        program: Program,
+        edb,
+        *,
+        query=None,
+        registry: BuiltinRegistry | None = None,
+        stats: EvaluationStats | None = None,
+        signature=None,
+        width: int | None = None,
+    ) -> Database:
+        prepared = self.cache.prepared(
+            program, registry, signature=signature, width=width
+        )
+        evaluator = SetSemiNaiveEvaluator.from_prepared(prepared)
+        if stats is not None:
+            evaluator.stats = stats
+        return evaluator.evaluate(edb)
+
+
+class TupleSemiNaiveBackend:
+    """The tuple-at-a-time execution of the same semi-naive plans.
+
+    Semantically identical to ``semi-naive``; retained as the ablation
+    baseline so ``bench_datalog_engine.py`` can measure what the
+    set-at-a-time representation buys."""
+
+    name = "semi-naive-tuple"
 
     def __init__(self, cache: ProgramCache | None = None):
         self.cache = cache if cache is not None else default_cache()
@@ -396,7 +440,7 @@ class MagicSetBackend:
             signature=signature,
             width=width,
         )
-        evaluator = SemiNaiveEvaluator.from_prepared(prepared)
+        evaluator = SetSemiNaiveEvaluator.from_prepared(prepared)
         if stats is not None:
             evaluator.stats = stats
         db = evaluator.evaluate(edb)
@@ -439,6 +483,7 @@ def get_backend(
 
 register_backend(NaiveBackend.name, NaiveBackend)
 register_backend(SemiNaiveBackend.name, SemiNaiveBackend)
+register_backend(TupleSemiNaiveBackend.name, TupleSemiNaiveBackend)
 register_backend(MagicSetBackend.name, MagicSetBackend)
 
 

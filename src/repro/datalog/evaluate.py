@@ -45,13 +45,22 @@ class NotStratifiableError(ValueError):
 
 
 class Database:
-    """Facts per predicate with lazily-built hash indexes."""
+    """Facts per predicate with lazily-built hash indexes.
+
+    Indexes are registered *per predicate*: inserting a fact touches
+    only the indexes of that fact's predicate, not every index in the
+    database (insertion cost is proportional to how indexed the one
+    predicate is, which keeps bulk loads linear).
+    """
 
     __slots__ = ("_facts", "_indexes")
 
     def __init__(self) -> None:
         self._facts: dict[str, set[tuple]] = {}
-        self._indexes: dict[tuple[str, tuple[int, ...]], dict[tuple, list[tuple]]] = {}
+        #: predicate -> {positions -> {key -> rows}}
+        self._indexes: dict[
+            str, dict[tuple[int, ...], dict[tuple, list[tuple]]]
+        ] = {}
 
     @classmethod
     def from_facts(cls, facts: Iterable[Fact]) -> "Database":
@@ -68,14 +77,26 @@ class Database:
                 db.add(name, tup)
         return db
 
+    @classmethod
+    def from_relations(
+        cls, relations: Mapping[str, set[tuple]]
+    ) -> "Database":
+        """Wrap already-built relations, taking ownership of the sets
+        (no defensive copy -- the caller hands them over).  This is the
+        bulk-decode path of the set-at-a-time engine."""
+        db = cls()
+        db._facts = dict(relations)
+        return db
+
     def add(self, predicate: str, args: tuple) -> bool:
         """Insert; returns True iff the fact is new."""
         rel = self._facts.setdefault(predicate, set())
         if args in rel:
             return False
         rel.add(args)
-        for (pred, positions), index in self._indexes.items():
-            if pred == predicate:
+        indexes = self._indexes.get(predicate)
+        if indexes:
+            for positions, index in indexes.items():
                 key = tuple(args[i] for i in positions)
                 index.setdefault(key, []).append(args)
         return True
@@ -102,24 +123,36 @@ class Database:
 
         ``pattern`` entries are concrete values or :data:`UNBOUND`.
         """
-        rel = self._facts.get(predicate)
-        if not rel:
+        if not self._facts.get(predicate):
             return iter(())
         positions = tuple(
             i for i, p in enumerate(pattern) if p is not UNBOUND
         )
         if not positions:
-            return iter(rel)
-        index_key = (predicate, positions)
-        index = self._indexes.get(index_key)
+            return iter(self._facts[predicate])
+        index = self.lookup(predicate, positions)
+        key = tuple(pattern[i] for i in positions)
+        return iter(index.get(key, ()))
+
+    def lookup(
+        self, predicate: str, positions: tuple[int, ...]
+    ) -> dict[tuple, list[tuple]]:
+        """The hash index of ``predicate`` on ``positions`` (built
+        lazily, then maintained incrementally by :meth:`add`).
+
+        Exposed so relation-level joins (the set-at-a-time engine, the
+        batch grounder) can probe one index per join step instead of
+        re-resolving it per binding.
+        """
+        per_pred = self._indexes.setdefault(predicate, {})
+        index = per_pred.get(positions)
         if index is None:
             index = {}
-            for args in rel:
+            for args in self._facts.get(predicate, ()):
                 key = tuple(args[i] for i in positions)
                 index.setdefault(key, []).append(args)
-            self._indexes[index_key] = index
-        lookup = tuple(pattern[i] for i in positions)
-        return iter(index.get(lookup, ()))
+            per_pred[positions] = index
+        return index
 
     def copy(self) -> "Database":
         clone = Database()

@@ -17,13 +17,14 @@ about; that variant lives in the benchmark modules.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from itertools import repeat
+from typing import Sequence
 
 from ..structures.structure import Fact, Structure
 from .ast import Atom, Constant, Literal, Program, Rule, Variable
 from .builtins import UNBOUND, BuiltinRegistry, standard_registry
-from .evaluate import Database, UnsafeRuleError, _extend_with_fact, _slots
+from .evaluate import Database
 from .horn import GroundRule, horn_least_model
 
 
@@ -35,6 +36,11 @@ class NotGroundableError(ValueError):
 class GroundingStats:
     ground_rules: int = 0
     killed_by_extensional: int = 0
+    #: total rows surviving each extensional join step -- the
+    #: O(|P| * |A|) *work* measure of Theorem 4.4 (a mis-ordered plan
+    #: shows up here as a super-linear blow-up even when the final
+    #: ground-rule count stays linear)
+    bindings_explored: int = 0
 
 
 @dataclass(frozen=True)
@@ -168,56 +174,247 @@ def ground_program(
     for rule, (ordered, idb_literals) in zip(
         prepared.program.rules, prepared.plans
     ):
-        bindings: list[dict] = [{}]
-        for literal in ordered:
-            atom = literal.atom
-            new_bindings: list[dict] = []
-            if literal.positive and atom.predicate not in registry:
-                for binding in bindings:
-                    pattern = _slots(atom, binding)
-                    for fact_args in db.match(atom.predicate, pattern):
-                        extended = _extend_with_fact(binding, atom, fact_args)
-                        if extended is not None:
-                            new_bindings.append(extended)
-            elif literal.positive:
-                builtin = registry.get(atom.predicate)
-                for binding in bindings:
-                    pattern = _slots(atom, binding)
-                    for solution in builtin.evaluate(pattern):
-                        extended = _extend_with_fact(binding, atom, solution)
-                        if extended is not None:
-                            new_bindings.append(extended)
-            else:
-                for binding in bindings:
-                    pattern = _slots(atom, binding)
-                    if any(s is UNBOUND for s in pattern):
-                        raise NotGroundableError(
-                            f"negated atom {atom} not bound during grounding"
-                        )
-                    if atom.predicate in registry:
-                        held = any(
-                            registry.get(atom.predicate).evaluate(tuple(pattern))
-                        )
-                    else:
-                        held = db.contains(atom.predicate, tuple(pattern))
-                    if held:
-                        stats.killed_by_extensional += 1
-                    else:
-                        new_bindings.append(binding)
-            bindings = new_bindings
-            if not bindings:
-                break
+        columns, length = _instantiate_batch(
+            ordered, db, registry, stats
+        )
+        if not length:
+            continue
 
-        for binding in bindings:
-            substitution = {v: Constant(val) for v, val in binding.items()}
-            head = rule.head.substitute(substitution).to_fact()
+        # build the propositional rules straight off the columns: no
+        # per-binding substitution dict, no Atom.substitute round-trip
+        def arg_rows(atom: Atom):
+            if not atom.args:
+                return repeat((), length)
+            sources = [
+                repeat(arg.value, length)
+                if isinstance(arg, Constant)
+                else columns[arg]
+                for arg in atom.args
+            ]
+            return zip(*sources)
+
+        head_predicate = rule.head.predicate
+        body_predicates = [lit.atom.predicate for lit in idb_literals]
+        body_rows = [arg_rows(lit.atom) for lit in idb_literals]
+        for head_args, *body_args in zip(arg_rows(rule.head), *body_rows):
             body = tuple(
-                lit.atom.substitute(substitution).to_fact()
-                for lit in idb_literals
+                Fact(predicate, args)
+                for predicate, args in zip(body_predicates, body_args)
             )
-            ground_rules.append(GroundRule(head, body))
-            stats.ground_rules += 1
+            ground_rules.append(
+                GroundRule(Fact(head_predicate, head_args), body)
+            )
+        stats.ground_rules += length
     return ground_rules
+
+
+def _instantiate_batch(
+    ordered: Sequence[Literal],
+    db: Database,
+    registry: BuiltinRegistry,
+    stats: GroundingStats,
+) -> tuple[dict[Variable, list], int]:
+    """Run one rule's extensional join order set-at-a-time.
+
+    The bindings live in a columnar batch (variable -> parallel value
+    list, as in :mod:`repro.datalog.setengine` but over raw values --
+    grounding happens before interning).  Each literal classifies its
+    argument positions once, fetches one incrementally-maintained
+    index from the database, and probes it per row, instead of
+    re-resolving pattern and index per binding.
+
+    NOTE: the join branches below deliberately mirror the interned
+    kernel in ``setengine._join`` / ``_builtin`` / ``_negate``
+    (classification, dup filters, semi-join vs index-probe split).  A
+    semantics fix in one must be applied to the other, or this path
+    silently diverges from the default backend.
+    """
+    columns: dict[Variable, list] = {}
+    length = 1  # the unit batch: one empty binding
+    for literal in ordered:
+        atom = literal.atom
+        consts: list[tuple[int, object]] = []
+        bound: list[tuple[int, Variable]] = []
+        free: list[tuple[int, Variable]] = []
+        dups: list[tuple[int, int]] = []
+        first_pos: dict[Variable, int] = {}
+        for pos, arg in enumerate(atom.args):
+            if isinstance(arg, Constant):
+                consts.append((pos, arg.value))
+            elif arg in columns:
+                bound.append((pos, arg))
+            elif arg in first_pos:
+                dups.append((pos, first_pos[arg]))
+            else:
+                first_pos[arg] = pos
+                free.append((pos, arg))
+
+        if literal.positive and atom.predicate not in registry:
+            columns, length = _join_relation(
+                columns, length, atom, consts, bound, free, dups, db
+            )
+        elif literal.positive:
+            columns, length = _join_builtin(
+                columns,
+                length,
+                atom,
+                consts,
+                bound,
+                free,
+                dups,
+                registry.get(atom.predicate),
+            )
+        else:
+            if free or dups:
+                raise NotGroundableError(
+                    f"negated atom {atom} not bound during grounding"
+                )
+            columns, length = _filter_negation(
+                columns, length, atom, consts, bound, db, registry, stats
+            )
+        stats.bindings_explored += length
+        if not length:
+            break
+    return columns, length
+
+
+def _join_relation(
+    columns, length, atom, consts, bound, free, dups, db: Database
+):
+    key_positions = tuple(
+        sorted([pos for pos, _ in consts] + [pos for pos, _ in bound])
+    )
+    arity = atom.arity
+    if not free and not dups:
+        # semi-join: candidate fact tuples are fully determined
+        rel = db.relation(atom.predicate)
+        sources = [None] * arity
+        for pos, value in consts:
+            sources[pos] = repeat(value, length)
+        for pos, var in bound:
+            sources[pos] = columns[var]
+        if arity == 0:
+            keep = range(length) if () in rel else []
+        else:
+            keep = [
+                r
+                for r, key in enumerate(zip(*sources))
+                if key in rel
+            ]
+        return _take_rows(columns, keep), len(keep)
+
+    out_columns = {v: [] for v in columns}
+    out_columns.update({var: [] for _, var in free})
+    old = [(out_columns[v].append, columns[v]) for v in columns]
+    new = [(out_columns[var].append, pos) for pos, var in free]
+    count = 0
+
+    if not key_positions:  # unrestricted scan / cross product
+        facts = db.relation(atom.predicate)
+        if dups:
+            facts = [
+                f for f in facts if all(f[p] == f[q] for p, q in dups)
+            ]
+        for r in range(length):
+            for fact in facts:
+                for append, col in old:
+                    append(col[r])
+                for append, pos in new:
+                    append(fact[pos])
+                count += 1
+        return out_columns, count
+
+    index = db.lookup(atom.predicate, key_positions)
+    by_pos = {pos: value for pos, value in consts}
+    for pos, var in bound:
+        by_pos[pos] = columns[var]
+    keys = zip(
+        *(
+            by_pos[pos]
+            if isinstance(by_pos[pos], list)
+            else repeat(by_pos[pos], length)
+            for pos in key_positions
+        )
+    )
+    get = index.get
+    for r, key in enumerate(keys):
+        matches = get(key)
+        if not matches:
+            continue
+        if dups:
+            matches = [
+                f for f in matches if all(f[p] == f[q] for p, q in dups)
+            ]
+        for fact in matches:
+            for append, col in old:
+                append(col[r])
+            for append, pos in new:
+                append(fact[pos])
+        count += len(matches)
+    return out_columns, count
+
+
+def _join_builtin(
+    columns, length, atom, consts, bound, free, dups, builtin
+):
+    arity = atom.arity
+    sources: list = [None] * arity
+    for pos, value in consts:
+        sources[pos] = repeat(value, length)
+    for pos, var in bound:
+        sources[pos] = columns[var]
+    for pos, _ in free:
+        sources[pos] = repeat(UNBOUND, length)
+    for pos, _ in dups:
+        sources[pos] = repeat(UNBOUND, length)
+    patterns = zip(*sources) if arity else repeat((), length)
+
+    out_columns = {v: [] for v in columns}
+    out_columns.update({var: [] for _, var in free})
+    old = [(out_columns[v].append, columns[v]) for v in columns]
+    new = [(out_columns[var].append, pos) for pos, var in free]
+    count = 0
+    for r, pattern in enumerate(patterns):
+        for solution in builtin.evaluate(pattern):
+            if dups and not all(
+                solution[p] == solution[q] for p, q in dups
+            ):
+                continue
+            for append, col in old:
+                append(col[r])
+            for append, pos in new:
+                append(solution[pos])
+            count += 1
+    return out_columns, count
+
+
+def _filter_negation(
+    columns, length, atom, consts, bound, db, registry, stats
+):
+    arity = atom.arity
+    sources: list = [None] * arity
+    for pos, value in consts:
+        sources[pos] = repeat(value, length)
+    for pos, var in bound:
+        sources[pos] = columns[var]
+    patterns = zip(*sources) if arity else repeat((), length)
+    if atom.predicate in registry:
+        builtin = registry.get(atom.predicate)
+        held_flags = [
+            bool(any(builtin.evaluate(pattern))) for pattern in patterns
+        ]
+    else:
+        rel = db.relation(atom.predicate)
+        held_flags = [pattern in rel for pattern in patterns]
+    keep = [r for r, held in enumerate(held_flags) if not held]
+    stats.killed_by_extensional += length - len(keep)
+    return _take_rows(columns, keep), len(keep)
+
+
+def _take_rows(columns: dict, keep) -> dict:
+    if isinstance(keep, range):
+        return columns
+    return {v: [col[r] for r in keep] for v, col in columns.items()}
 
 
 def evaluate_via_grounding(

@@ -8,12 +8,19 @@ guard-driven grounding, the remaining ground program is solved here.
 The algorithm is the classic forward chaining with per-rule counters of
 unsatisfied body atoms: each rule is touched once per body atom, so the
 total work is linear in the program size.
+
+Propositional atoms are *interned* into dense integer ids up front (the
+same representation decision as :mod:`repro.datalog.interning` makes for
+domain elements): the unit-resolution inner loop then walks flat lists
+indexed by atom id -- no re-hashing of the (often large, e.g.
+``Fact``-valued) atoms per propagation step, and the derived set is a
+byte array until it is translated back at the end.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Sequence
+from typing import Hashable, Iterable
 
 PropAtom = Hashable
 
@@ -34,38 +41,49 @@ class GroundRule:
 def horn_least_model(rules: Iterable[GroundRule]) -> set[PropAtom]:
     """The least model of a set of ground Horn rules.
 
-    Dowling-Gallier / LTUR: O(total size of the rules).
+    Dowling-Gallier / LTUR: O(total size of the rules).  Atoms are
+    interned to dense ids once; propagation is pure integer work.
     """
-    rules = list(rules)
-    waiting: dict[PropAtom, list[int]] = {}
-    counters: list[int] = []
-    derived: set[PropAtom] = set()
-    queue: list[PropAtom] = []
+    ids: dict[PropAtom, int] = {}
+    atoms: list[PropAtom] = []
+    waiting: list[list[int]] = []  # atom id -> rules waiting on it
+    derived = bytearray()  # atom id -> 0/1
+
+    def intern(atom: PropAtom) -> int:
+        ident = ids.get(atom)
+        if ident is None:
+            ident = len(atoms)
+            ids[atom] = ident
+            atoms.append(atom)
+            waiting.append([])
+            derived.append(0)
+        return ident
+
+    heads: list[int] = []  # rule index -> head atom id
+    counters: list[int] = []  # rule index -> unsatisfied body atoms
+    queue: list[int] = []
 
     for index, rule in enumerate(rules):
-        missing = 0
-        seen_in_body: set[PropAtom] = set()
-        for atom in rule.body:
-            if atom in seen_in_body:
-                continue
-            seen_in_body.add(atom)
-            missing += 1
-            waiting.setdefault(atom, []).append(index)
-        counters.append(missing)
-        if missing == 0 and rule.head not in derived:
-            derived.add(rule.head)
-            queue.append(rule.head)
+        head_id = intern(rule.head)
+        heads.append(head_id)
+        body_ids = {intern(atom) for atom in rule.body}
+        counters.append(len(body_ids))
+        for body_id in body_ids:
+            waiting[body_id].append(index)
+        if not body_ids and not derived[head_id]:
+            derived[head_id] = 1
+            queue.append(head_id)
 
     while queue:
-        atom = queue.pop()
-        for index in waiting.get(atom, ()):
+        atom_id = queue.pop()
+        for index in waiting[atom_id]:
             counters[index] -= 1
             if counters[index] == 0:
-                head = rules[index].head
-                if head not in derived:
-                    derived.add(head)
-                    queue.append(head)
-    return derived
+                head_id = heads[index]
+                if not derived[head_id]:
+                    derived[head_id] = 1
+                    queue.append(head_id)
+    return {atom for atom, flag in zip(atoms, derived) if flag}
 
 
 def horn_entails(rules: Iterable[GroundRule], goal: PropAtom) -> bool:

@@ -1,0 +1,130 @@
+"""Dense interning of domain elements and big-int bitset helpers.
+
+Section 6 of the paper argues that the practical viability of the
+monadic-datalog route depends on the constant factors of the
+interpreter.  The set-at-a-time engine (:mod:`repro.datalog.setengine`)
+gets its constant factors from one representation decision made here:
+every constant of the extensional database is *interned* into a dense
+integer id when the database is loaded, so
+
+* facts become tuples of small ints (cheap to hash, cheap to compare),
+* unary relations -- and monadic datalog's IDB predicates are all
+  unary -- become Python big-int *bitsets*, where union, intersection,
+  difference and membership run word-parallel in C.
+
+The interner is bidirectional (id -> value is a list lookup) and
+grows on demand: built-in predicates may create values that never
+occurred in the input structure (e.g. the fixed-size sets of the
+Section 5 programs), and those are interned on first sight.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+__all__ = [
+    "Interner",
+    "bitset_of",
+    "iter_bits",
+    "popcount",
+]
+
+
+class Interner:
+    """A bidirectional value <-> dense-int-id mapping.
+
+    Ids are handed out consecutively from 0, so a fresh structure's
+    domain occupies the low bits of every bitset built against it.
+    """
+
+    __slots__ = ("_ids", "_values", "_identity")
+
+    def __init__(self, values: Iterable[Hashable] = ()):
+        self._ids: dict[Hashable, int] = {}
+        self._values: list[Hashable] = []
+        #: True while every allocated id decodes to itself (the dense
+        #: non-negative-int-domain case); lets decoding skip the id ->
+        #: value translation entirely.
+        self._identity = True
+        for value in values:
+            self.intern(value)
+
+    @classmethod
+    def identity(cls, width: int) -> "Interner":
+        """An interner pre-seeded with ``0..width-1`` mapping to
+        themselves.  Loading a database whose constants are already
+        dense non-negative ints through this makes interning -- and
+        decoding -- the identity, so fact tuples are reused as-is."""
+        interner = cls()
+        interner._values = list(range(width))
+        interner._ids = {i: i for i in range(width)}
+        return interner
+
+    @property
+    def is_identity(self) -> bool:
+        """True iff ``value_of(i) == i`` for every allocated id."""
+        return self._identity
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self._ids
+
+    def intern(self, value: Hashable) -> int:
+        """The id of ``value``, allocating a fresh dense id if new."""
+        ids = self._ids
+        found = ids.get(value)
+        if found is not None:
+            return found
+        fresh = len(self._values)
+        ids[value] = fresh
+        self._values.append(value)
+        if self._identity and value != fresh:
+            self._identity = False
+        return fresh
+
+    def id_of(self, value: Hashable) -> int | None:
+        """The id of ``value``, or ``None`` if it was never interned."""
+        return self._ids.get(value)
+
+    def value_of(self, ident: int) -> Hashable:
+        """Invert :meth:`intern`; raises :class:`IndexError` for ids
+        that were never allocated."""
+        return self._values[ident]
+
+    def values(self) -> Iterator[Hashable]:
+        """All interned values in id order."""
+        return iter(self._values)
+
+
+# ----------------------------------------------------------------------
+# Bitset helpers.  A "bitset" is a plain Python int: bit i set <=> the
+# element with interned id i is in the set.  Union/intersection/
+# difference are |, &, & ~ on ints -- word-parallel, no Python loop.
+# ----------------------------------------------------------------------
+
+
+def bitset_of(ids: Iterable[int]) -> int:
+    """The bitset containing exactly ``ids``."""
+    bits = 0
+    for i in ids:
+        bits |= 1 << i
+    return bits
+
+
+def iter_bits(bits: int) -> Iterator[int]:
+    """The set bit positions of ``bits``, ascending.
+
+    Uses the lowest-set-bit trick, so the cost is proportional to the
+    number of *set* bits, not the width of the word.
+    """
+    while bits:
+        low = bits & -bits
+        yield low.bit_length() - 1
+        bits ^= low
+
+
+def popcount(bits: int) -> int:
+    """|S| for a bitset."""
+    return bits.bit_count()

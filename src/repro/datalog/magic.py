@@ -26,7 +26,10 @@ The rewriting is the textbook adorned version:
 The sideways-information-passing order is the evaluator's own greedy
 join plan (:func:`repro.datalog.evaluate.plan_rule` with the head's
 bound variables pre-bound), so demand flows exactly the way the joins
-will run.
+will run.  The rewritten program is executed by the set-at-a-time
+engine (:mod:`repro.datalog.setengine`); the magic predicates of a
+monadic program are nullary or unary, so the demand sets it introduces
+live as interned bitsets there.
 
 Stratified negation is handled conservatively: any predicate occurring
 in a negated intensional literal -- together with everything it depends
