@@ -9,6 +9,7 @@ from .harness import (
     format_table,
     time_ms,
 )
+from .workloads import atd_cover_program
 from .table1 import (
     DECISION_ATTRIBUTE,
     PAPER_MD_MS,
@@ -29,6 +30,7 @@ __all__ = [
     "PAPER_MONA_MS",
     "PAPER_TREE_NODES",
     "Table1Row",
+    "atd_cover_program",
     "fit_linear",
     "format_ms",
     "format_table",

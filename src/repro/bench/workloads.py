@@ -1,0 +1,50 @@
+"""Shared benchmark/test workload builders.
+
+These live in the library (not in ``benchmarks/``) because the
+CI-gated solver benchmark and the regression test-suite must measure
+and validate the *same* programs -- a private copy in either place
+could drift silently.
+"""
+
+from __future__ import annotations
+
+from ..datalog.ast import Program, atom, pos, rule, var
+
+__all__ = ["atd_cover_program"]
+
+
+def atd_cover_program(bag_arity: int) -> Program:
+    """A Figure-style quasi-guarded DP over an ``A_td`` encoding.
+
+    Marks every decomposition node bottom-up (bag-guarded
+    leaf/child1/child2 recursion), projects every bag element into the
+    monadic ``covered`` predicate, and accepts at the root -- the same
+    rule shapes the Theorem 4.5 compiler emits, parameterized by the
+    bag arity so it runs at any width (the generic compiler's
+    practical envelope stops at width 1, so wide-bag structures like
+    grids are exercised through this program instead).
+    """
+    xs = [var(f"X{i}") for i in range(bag_arity - 1)]
+    v, v1, v2 = var("V"), var("V1"), var("V2")
+    return Program(
+        [
+            rule(atom("t", v), pos("bag", v, *xs), pos("leaf", v)),
+            rule(
+                atom("t", v),
+                pos("bag", v, *xs),
+                pos("child1", v1, v),
+                pos("t", v1),
+            ),
+            rule(
+                atom("t", v),
+                pos("bag", v, *xs),
+                pos("child2", v2, v),
+                pos("t", v2),
+            ),
+            *[
+                rule(atom("covered", x), pos("bag", v, *xs), pos("t", v))
+                for x in xs
+            ],
+            rule(atom("ok"), pos("root", v), pos("t", v)),
+        ]
+    )

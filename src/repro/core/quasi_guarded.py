@@ -7,33 +7,126 @@ then solve the resulting ground program by linear-time unit resolution.
 This module packages the two halves
 (:mod:`repro.datalog.grounding` + :mod:`repro.datalog.horn`) behind a
 checked facade and is what the generic Theorem 4.5 programs run on.
+
+The production path is fully *interned*: the structure is loaded once
+into a :class:`~repro.datalog.setengine.SetDatabase` (dense-int fact
+tuples), one :class:`~repro.datalog.interning.InternPool` is threaded
+from that load through grounding, unit resolution, and result decoding
+-- a fact is interned exactly once per solve, the grounding -> horn
+boundary is pure integers, and :class:`QuasiGuardedResult` decodes
+lazily on access (a ``query()`` for one unary predicate never
+materializes the rest of the model).  The PR 2-era raw-value pipeline
+is retained behind ``interned=False`` as the ablation baseline of
+``bench_datalog_engine.py``'s solver workloads.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 from ..datalog.ast import Program
 from ..datalog.backends import ProgramCache, default_cache
 from ..datalog.builtins import BuiltinRegistry
 from ..datalog.evaluate import Database
-from ..datalog.grounding import GroundingStats, evaluate_via_grounding
+from ..datalog.grounding import (
+    GroundingStats,
+    ground_program,
+    ground_program_ids,
+)
 from ..datalog.guards import KeyDependency, is_quasi_guarded, td_key_dependencies
+from ..datalog.horn import horn_least_model, horn_least_model_ids
+from ..datalog.interning import InternPool
+from ..datalog.setengine import SetDatabase
 from ..structures.structure import Fact, Structure
 
 
-@dataclass
 class QuasiGuardedResult:
-    facts: frozenset[Fact]
-    ground_rules: int
+    """The derived intensional model of one Theorem 4.4 solve.
+
+    Interned solves keep the model as dense atom ids (``pool`` +
+    ``flags``) and decode **lazily**: ``holds`` and ``unary_answers``
+    answer straight off the interned model, and the full ``facts``
+    set is only materialized on first access.  Raw-path results (the
+    ablation) are constructed from an eager fact set and behave
+    identically.
+    """
+
+    __slots__ = ("ground_rules", "pool", "_flags", "_facts")
+
+    def __init__(
+        self,
+        facts: frozenset[Fact] | None = None,
+        ground_rules: int = 0,
+        *,
+        pool: InternPool | None = None,
+        flags: bytearray | None = None,
+    ):
+        if facts is None and (pool is None or flags is None):
+            raise ValueError("need either eager facts or pool + flags")
+        self.ground_rules = ground_rules
+        #: the solve's shared interning context (``None`` on the raw path)
+        self.pool = pool
+        self._flags = flags
+        self._facts = facts
+
+    @property
+    def facts(self) -> frozenset[Fact]:
+        """The derived facts, decoded (and cached) on first access."""
+        if self._facts is None:
+            decode = self.pool.decode_atom
+            self._facts = frozenset(
+                decode(i) for i, flag in enumerate(self._flags) if flag
+            )
+        return self._facts
 
     def holds(self, predicate: str, *args) -> bool:
-        return Fact(predicate, tuple(args)) in self.facts
+        if self.pool is None:
+            return Fact(predicate, tuple(args)) in self._facts
+        id_of = self.pool.interner.id_of
+        ids = []
+        for value in args:
+            ident = id_of(value)
+            if ident is None:  # value never occurred in this solve
+                return False
+            ids.append(ident)
+        atom = self.pool.lookup_atom(predicate, tuple(ids))
+        return atom is not None and bool(self._flags[atom])
 
     def unary_answers(self, predicate: str) -> frozenset:
-        return frozenset(
-            f.args[0] for f in self.facts if f.predicate == predicate
-        )
+        """The elements ``x`` with ``predicate(x)`` in the model.
+
+        Raises :class:`ValueError` if the model holds a fact of
+        ``predicate`` with arity != 1 -- silently truncating a
+        non-unary fact to its first argument would mask a compiler or
+        program bug.
+        """
+        if self.pool is None:
+            answers = []
+            for f in self._facts:
+                if f.predicate != predicate:
+                    continue
+                if len(f.args) != 1:
+                    raise ValueError(
+                        f"unary_answers({predicate!r}): fact {f} has "
+                        f"arity {len(f.args)}, not 1"
+                    )
+                answers.append(f.args[0])
+            return frozenset(answers)
+        pool = self.pool
+        atom_of = pool.atom_of
+        value_of = pool.interner.value_of
+        answers = []
+        for i, flag in enumerate(self._flags):
+            if not flag:
+                continue
+            pred, args = atom_of(i)
+            if pred != predicate:
+                continue
+            if len(args) != 1:
+                raise ValueError(
+                    f"unary_answers({predicate!r}): fact "
+                    f"{pool.decode_atom(i)} has arity {len(args)}, not 1"
+                )
+            answers.append(value_of(args[0]))
+        return frozenset(answers)
 
 
 class QuasiGuardedEvaluator:
@@ -41,7 +134,9 @@ class QuasiGuardedEvaluator:
 
     ``dependencies`` are the key constraints used to witness functional
     dependence (Definition 4.3); they default to the ``A_td``
-    constraints for the given bag arity.
+    constraints for the given bag arity.  ``interned=True`` (the
+    default) runs the fully interned grounding -> horn pipeline;
+    ``interned=False`` keeps the raw-value ablation path.
     """
 
     def __init__(
@@ -52,6 +147,7 @@ class QuasiGuardedEvaluator:
         registry: BuiltinRegistry | None = None,
         require_quasi_guarded: bool = True,
         cache: ProgramCache | None = None,
+        interned: bool = True,
     ):
         self.program = program
         if dependencies is None:
@@ -60,6 +156,7 @@ class QuasiGuardedEvaluator:
             )
         self.dependencies = dependencies
         self.registry = registry
+        self.interned = interned
         if require_quasi_guarded and not is_quasi_guarded(program, dependencies):
             raise ValueError(
                 "program is not quasi-guarded under the declared key "
@@ -69,13 +166,30 @@ class QuasiGuardedEvaluator:
         # body ordering is per-program work; do it once, share via cache
         self._prepared = cache.grounding(program, registry)
 
-    def evaluate(self, data: Structure | Database) -> QuasiGuardedResult:
+    def evaluate(
+        self, data: Structure | Database | SetDatabase
+    ) -> QuasiGuardedResult:
         stats = GroundingStats()
-        facts = evaluate_via_grounding(
-            self.program,
-            data,
-            registry=self.registry,
-            stats=stats,
-            prepared=self._prepared,
+        if not self.interned:
+            rules = ground_program(
+                self.program,
+                data,
+                registry=self.registry,
+                stats=stats,
+                prepared=self._prepared,
+            )
+            facts = frozenset(horn_least_model(rules))
+            return QuasiGuardedResult(facts, stats.ground_rules)
+        # one interning context per solve: structure load, grounding,
+        # horn, and result decoding all share sdb.interner via the pool
+        sdb = (
+            data
+            if isinstance(data, SetDatabase)
+            else SetDatabase.from_edb(data)
         )
-        return QuasiGuardedResult(frozenset(facts), stats.ground_rules)
+        pool = InternPool(sdb.interner)
+        rules = ground_program_ids(self._prepared, sdb, pool, stats)
+        flags = horn_least_model_ids(rules, len(pool))
+        return QuasiGuardedResult(
+            ground_rules=stats.ground_rules, pool=pool, flags=flags
+        )

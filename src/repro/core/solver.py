@@ -37,14 +37,19 @@ class CourcelleSolver:
     """Solve one MSO query over arbitrarily many width-w structures.
 
     ``backend`` selects how the compiled datalog program is evaluated
-    per structure: ``"quasi-guarded"`` (the default) runs the Theorem
-    4.4 grounding + Horn pipeline; any name registered in
+    per structure: ``"quasi-guarded"`` (the default) runs the fully
+    interned Theorem 4.4 grounding + Horn pipeline (one shared intern
+    pool from structure load to answer decoding);
+    ``"quasi-guarded-raw"`` is the same pipeline over raw values (the
+    pre-interning ablation); any name registered in
     :mod:`repro.datalog.backends` (``"naive"``, ``"semi-naive"`` --
     the set-at-a-time engine, ``"semi-naive-tuple"``, ``"magic"``)
     runs that bottom-up backend instead, with the magic backend
-    evaluating goal-directed on the answer predicate.  All choices
-    share the compiled-program cache, so per-program planning happens
-    once per (program fingerprint, signature, width).
+    evaluating goal-directed on the answer predicate.  Backends that
+    can stay in interned-id space (``semi-naive``, ``magic``) do, and
+    only the answer relation is decoded.  All choices share the
+    compiled-program cache, so per-program planning happens once per
+    (program fingerprint, signature, width).
     """
 
     def __init__(
@@ -84,12 +89,13 @@ class CourcelleSolver:
             raise AssertionError(
                 "compiled program is not quasi-guarded -- Theorem 4.5 violated"
             )
-        if backend == "quasi-guarded":
+        if backend in ("quasi-guarded", "quasi-guarded-raw"):
             self._backend = None
             self.evaluator = QuasiGuardedEvaluator(
                 self.compiled.program,
                 dependencies=self.compiled.dependencies(),
                 cache=self.cache,
+                interned=(backend == "quasi-guarded"),
             )
         else:
             self._backend = get_backend(backend, self.cache)
@@ -100,17 +106,25 @@ class CourcelleSolver:
                 self.compiled.prepared(cache=self.cache)
 
     def _backend_answers(self, encoded) -> frozenset:
-        """Evaluate via the pluggable backend; the set of phi-tuples."""
+        """Evaluate via the pluggable backend; the set of phi-tuples.
+
+        Backends exposing ``evaluate_interned`` keep the whole fixpoint
+        in interned-id space and only the answer relation is decoded --
+        the backend-boundary analogue of the quasi-guarded path's lazy
+        result decoding."""
         program = self.compiled.program
         if ANSWER_PREDICATE not in program.intensional_predicates():
             return frozenset()  # the compiler emitted no answer rules
-        db = self._backend.evaluate(
-            program,
-            encoded,
+        context = dict(
             query=ANSWER_PREDICATE,
             signature=str(self.compiled.signature),
             width=self.compiled.width,
         )
+        interned = getattr(self._backend, "evaluate_interned", None)
+        if interned is not None:
+            sdb = interned(program, encoded, **context)
+            return frozenset(sdb.decode_relation(ANSWER_PREDICATE))
+        db = self._backend.evaluate(program, encoded, **context)
         return frozenset(db.relation(ANSWER_PREDICATE))
 
     # ------------------------------------------------------------------

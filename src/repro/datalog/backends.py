@@ -53,7 +53,7 @@ from .evaluate import (
 )
 from .grounding import PreparedGrounding, prepare_grounding
 from .magic import MagicRewrite, magic_rewrite, normalize_query
-from .setengine import SetSemiNaiveEvaluator
+from .setengine import SetDatabase, SetSemiNaiveEvaluator
 
 #: the registry that ``registry=None`` resolves to inside the cache, so
 #: default callers share cache entries instead of each fresh
@@ -347,6 +347,28 @@ class SemiNaiveBackend:
     def __init__(self, cache: ProgramCache | None = None):
         self.cache = cache if cache is not None else default_cache()
 
+    def evaluate_interned(
+        self,
+        program: Program,
+        edb,
+        *,
+        query=None,
+        registry: BuiltinRegistry | None = None,
+        stats: EvaluationStats | None = None,
+        signature=None,
+        width: int | None = None,
+    ) -> SetDatabase:
+        """The fixpoint, still in interned-id space.  Goal-directed
+        callers (``CourcelleSolver``) decode only the relation they
+        need instead of the whole database."""
+        prepared = self.cache.prepared(
+            program, registry, signature=signature, width=width
+        )
+        evaluator = SetSemiNaiveEvaluator.from_prepared(prepared)
+        if stats is not None:
+            evaluator.stats = stats
+        return evaluator.run(SetDatabase.from_edb(edb))
+
     def evaluate(
         self,
         program: Program,
@@ -358,13 +380,15 @@ class SemiNaiveBackend:
         signature=None,
         width: int | None = None,
     ) -> Database:
-        prepared = self.cache.prepared(
-            program, registry, signature=signature, width=width
-        )
-        evaluator = SetSemiNaiveEvaluator.from_prepared(prepared)
-        if stats is not None:
-            evaluator.stats = stats
-        return evaluator.evaluate(edb)
+        return self.evaluate_interned(
+            program,
+            edb,
+            query=query,
+            registry=registry,
+            stats=stats,
+            signature=signature,
+            width=width,
+        ).decode()
 
 
 class TupleSemiNaiveBackend:
@@ -416,7 +440,7 @@ class MagicSetBackend:
     def __init__(self, cache: ProgramCache | None = None):
         self.cache = cache if cache is not None else default_cache()
 
-    def evaluate(
+    def evaluate_interned(
         self,
         program: Program,
         edb,
@@ -426,7 +450,16 @@ class MagicSetBackend:
         stats: EvaluationStats | None = None,
         signature=None,
         width: int | None = None,
-    ) -> Database:
+    ) -> SetDatabase:
+        """Demand-transform and evaluate without leaving id space.
+
+        The magic predicates of a monadic program are nullary or unary,
+        so the demand sets this evaluation propagates live as big-int
+        bitsets inside the set engine from seed to answer; the adorned
+        answers are aliased under the original predicate name while
+        still interned.  Nothing is decoded here -- the caller picks
+        the relation(s) it wants decoded (or calls :meth:`evaluate`
+        for the full value-level database)."""
         if query is None:
             raise ValueError(
                 "the magic-set backend is goal-directed: pass query="
@@ -443,10 +476,30 @@ class MagicSetBackend:
         evaluator = SetSemiNaiveEvaluator.from_prepared(prepared)
         if stats is not None:
             evaluator.stats = stats
-        db = evaluator.evaluate(edb)
-        for args in list(db.relation(rewrite.answer_predicate)):
-            db.add(query_atom.predicate, args)
+        db = evaluator.run(SetDatabase.from_edb(edb))
+        db.copy_relation(rewrite.answer_predicate, query_atom.predicate)
         return db
+
+    def evaluate(
+        self,
+        program: Program,
+        edb,
+        *,
+        query=None,
+        registry: BuiltinRegistry | None = None,
+        stats: EvaluationStats | None = None,
+        signature=None,
+        width: int | None = None,
+    ) -> Database:
+        return self.evaluate_interned(
+            program,
+            edb,
+            query=query,
+            registry=registry,
+            stats=stats,
+            signature=signature,
+            width=width,
+        ).decode()
 
 
 # ----------------------------------------------------------------------

@@ -13,6 +13,25 @@ The same machinery, pointed at *every* candidate instantiation instead
 of only the ones supported by the database, yields the fully
 materialized ground program that Section 6's optimization (2) warns
 about; that variant lives in the benchmark modules.
+
+Two execution forms share the per-rule plans of
+:func:`prepare_grounding`:
+
+* the **interned** form (:func:`ground_program_ids`, the production
+  path of :class:`repro.core.quasi_guarded.QuasiGuardedEvaluator`):
+  guard instantiation joins over a
+  :class:`~repro.datalog.setengine.SetDatabase` of dense-int fact
+  tuples and emits ground rules as ``(head_atom_id, body_atom_ids)``
+  pairs drawn from a shared
+  :class:`~repro.datalog.interning.InternPool` -- no raw-value tuple
+  crosses the grounding -> horn boundary, and
+  :func:`repro.datalog.horn.horn_least_model_ids` propagates over the
+  same ids;
+* the **raw-value** form (:func:`ground_program`): the original
+  PR 2-era pipeline over value-level databases and
+  :class:`~repro.structures.structure.Fact` atoms, retained as the
+  ablation baseline for ``bench_datalog_engine.py``'s solver workloads
+  and as the debugging-friendly API (ground rules you can read).
 """
 
 from __future__ import annotations
@@ -25,7 +44,9 @@ from ..structures.structure import Fact, Structure
 from .ast import Atom, Constant, Literal, Program, Rule, Variable
 from .builtins import UNBOUND, BuiltinRegistry, standard_registry
 from .evaluate import Database
-from .horn import GroundRule, horn_least_model
+from .horn import GroundRule, horn_least_model, horn_least_model_ids
+from .interning import InternPool
+from .setengine import SetDatabase
 
 
 class NotGroundableError(ValueError):
@@ -159,9 +180,12 @@ def ground_program(
 ) -> list[GroundRule]:
     """All supported ground instances, as propositional Horn rules.
 
-    Propositional atoms are :class:`repro.structures.structure.Fact`
-    values of the intensional predicates.  ``prepared`` (from
-    :func:`prepare_grounding`) skips re-ordering the rule bodies.
+    The raw-value form: propositional atoms are
+    :class:`repro.structures.structure.Fact` values of the intensional
+    predicates.  ``prepared`` (from :func:`prepare_grounding`) skips
+    re-ordering the rule bodies.  The production solve path uses the
+    interned form (:func:`ground_program_ids`) instead; this one is the
+    ablation baseline and the readable-output API.
     """
     if isinstance(db, Structure):
         db = Database.from_structure(db)
@@ -417,17 +441,339 @@ def _take_rows(columns: dict, keep) -> dict:
     return {v: [col[r] for r in keep] for v, col in columns.items()}
 
 
+# ----------------------------------------------------------------------
+# The interned form: joins over a SetDatabase of dense-int fact tuples,
+# ground rules emitted as atom ids from a shared InternPool.  Mirrors
+# the raw branches above step for step (and, like them, the kernels in
+# setengine._join/_builtin/_negate); a semantics fix in one variant
+# must be applied to the others.
+# ----------------------------------------------------------------------
+
+
+def ground_program_ids(
+    prepared: PreparedGrounding,
+    db: SetDatabase,
+    pool: InternPool,
+    stats: GroundingStats | None = None,
+) -> list[tuple[int, tuple[int, ...]]]:
+    """All supported ground instances, as ``(head_id, body_ids)`` pairs.
+
+    The interned half of Theorem 4.4: ``db`` holds the extensional
+    facts as dense-int tuples, ``pool`` (which must share ``db``'s
+    interner) assigns dense ids to the ground intensional atoms, and
+    the returned rules are pure integers -- ready for
+    :func:`repro.datalog.horn.horn_least_model_ids` with no raw-value
+    tuple crossing the boundary.
+    """
+    if pool.interner is not db.interner:
+        raise ValueError(
+            "pool and database must share one interner -- the point of "
+            "the interned pipeline is a single interning context per solve"
+        )
+    registry = prepared.registry
+    stats = stats if stats is not None else GroundingStats()
+    intern = db.interner.intern
+    ground_rules: list[tuple[int, tuple[int, ...]]] = []
+
+    for rule, (ordered, idb_literals) in zip(
+        prepared.program.rules, prepared.plans
+    ):
+        columns, length = _instantiate_batch_ids(ordered, db, registry, stats)
+        if not length:
+            continue
+
+        def arg_rows(atom: Atom):
+            if not atom.args:
+                return repeat((), length)
+            sources = [
+                repeat(intern(arg.value), length)
+                if isinstance(arg, Constant)
+                else columns[arg]
+                for arg in atom.args
+            ]
+            return zip(*sources)
+
+        # one bulk-intern pass per atom column, then C-speed zips pair
+        # head ids with body-id tuples -- no per-row Python
+        head_ids = pool.atom_ids(rule.head.predicate, arg_rows(rule.head))
+        if not idb_literals:
+            ground_rules.extend(zip(head_ids, repeat(())))
+        else:
+            body_id_columns = [
+                pool.atom_ids(lit.atom.predicate, arg_rows(lit.atom))
+                for lit in idb_literals
+            ]
+            ground_rules.extend(zip(head_ids, zip(*body_id_columns)))
+        stats.ground_rules += length
+    return ground_rules
+
+
+def _instantiate_batch_ids(
+    ordered: Sequence[Literal],
+    db: SetDatabase,
+    registry: BuiltinRegistry,
+    stats: GroundingStats,
+) -> tuple[dict[Variable, list[int]], int]:
+    """The interned twin of :func:`_instantiate_batch`: columns hold
+    dense ids, relation steps probe the interned database's indexes,
+    and only built-in steps touch raw values (decoded on the way in,
+    fresh outputs interned on the way out, as in the set engine)."""
+    columns: dict[Variable, list[int]] = {}
+    length = 1  # the unit batch: one empty binding
+    for literal in ordered:
+        atom = literal.atom
+        consts: list[tuple[int, object]] = []
+        bound: list[tuple[int, Variable]] = []
+        free: list[tuple[int, Variable]] = []
+        dups: list[tuple[int, int]] = []
+        first_pos: dict[Variable, int] = {}
+        for pos, arg in enumerate(atom.args):
+            if isinstance(arg, Constant):
+                consts.append((pos, arg.value))
+            elif arg in columns:
+                bound.append((pos, arg))
+            elif arg in first_pos:
+                dups.append((pos, first_pos[arg]))
+            else:
+                first_pos[arg] = pos
+                free.append((pos, arg))
+
+        if literal.positive and atom.predicate not in registry:
+            columns, length = _join_relation_ids(
+                columns, length, atom, consts, bound, free, dups, db
+            )
+        elif literal.positive:
+            columns, length = _join_builtin_ids(
+                columns,
+                length,
+                atom,
+                consts,
+                bound,
+                free,
+                dups,
+                registry.get(atom.predicate),
+                db,
+            )
+        else:
+            if free or dups:
+                raise NotGroundableError(
+                    f"negated atom {atom} not bound during grounding"
+                )
+            columns, length = _filter_negation_ids(
+                columns, length, atom, consts, bound, db, registry, stats
+            )
+        stats.bindings_explored += length
+        if not length:
+            break
+    return columns, length
+
+
+def _join_relation_ids(
+    columns, length, atom, consts, bound, free, dups, db: SetDatabase
+):
+    intern = db.interner.intern
+    consts = [(pos, intern(value)) for pos, value in consts]
+    key_positions = tuple(
+        sorted([pos for pos, _ in consts] + [pos for pos, _ in bound])
+    )
+    arity = atom.arity
+    if not free and not dups:
+        # semi-join: candidate fact tuples are fully determined
+        if arity == 0:
+            keep = (
+                range(length) if () in db.relation(atom.predicate) else []
+            )
+            return _take_rows(columns, keep), len(keep)
+        if arity == 1:
+            bits = db.bits(atom.predicate)
+            if consts:
+                keep = range(length) if (bits >> consts[0][1]) & 1 else []
+            else:
+                column = columns[bound[0][1]]
+                keep = [
+                    r for r in range(length) if (bits >> column[r]) & 1
+                ]
+            return _take_rows(columns, keep), len(keep)
+        rel = db.relation(atom.predicate)
+        sources = [None] * arity
+        for pos, cid in consts:
+            sources[pos] = repeat(cid, length)
+        for pos, var in bound:
+            sources[pos] = columns[var]
+        keep = [
+            r for r, key in enumerate(zip(*sources)) if key in rel
+        ]
+        return _take_rows(columns, keep), len(keep)
+
+    out_columns = {v: [] for v in columns}
+    out_columns.update({var: [] for _, var in free})
+    old = [(out_columns[v].append, columns[v]) for v in columns]
+    new = [(out_columns[var].append, pos) for pos, var in free]
+    count = 0
+
+    if not key_positions:  # unrestricted scan / cross product
+        facts = db.relation(atom.predicate)
+        if dups:
+            facts = [
+                f for f in facts if all(f[p] == f[q] for p, q in dups)
+            ]
+        if not columns and length == 1:  # unit batch (the guard step):
+            # the scan IS the result -- transpose at C speed instead of
+            # appending per cell
+            facts = list(facts)
+            if not facts:
+                return out_columns, 0
+            transposed = list(zip(*facts))
+            return {
+                var: list(transposed[pos]) for pos, var in free
+            }, len(facts)
+        for r in range(length):
+            for fact in facts:
+                for append, col in old:
+                    append(col[r])
+                for append, pos in new:
+                    append(fact[pos])
+                count += 1
+        return out_columns, count
+
+    index = db.index_for(atom.predicate, key_positions)
+    by_pos = {pos: cid for pos, cid in consts}
+    for pos, var in bound:
+        by_pos[pos] = columns[var]
+    if len(key_positions) == 1:
+        # single-position SetDatabase indexes key on the bare id
+        key_source = by_pos[key_positions[0]]
+        keys = (
+            key_source
+            if isinstance(key_source, list)
+            else repeat(key_source, length)
+        )
+    else:
+        keys = zip(
+            *(
+                by_pos[pos]
+                if isinstance(by_pos[pos], list)
+                else repeat(by_pos[pos], length)
+                for pos in key_positions
+            )
+        )
+    get = index.get
+    for r, key in enumerate(keys):
+        matches = get(key)
+        if not matches:
+            continue
+        if dups:
+            matches = [
+                f for f in matches if all(f[p] == f[q] for p, q in dups)
+            ]
+        for fact in matches:
+            for append, col in old:
+                append(col[r])
+            for append, pos in new:
+                append(fact[pos])
+        count += len(matches)
+    return out_columns, count
+
+
+def _join_builtin_ids(
+    columns, length, atom, consts, bound, free, dups, builtin, db: SetDatabase
+):
+    # built-ins see raw values: decode bound ids on the way in, intern
+    # fresh outputs on the way out (exactly as setengine._builtin does)
+    interner = db.interner
+    value_of = interner.value_of
+    intern = interner.intern
+    arity = atom.arity
+    sources: list = [None] * arity
+    for pos, value in consts:
+        sources[pos] = repeat(value, length)
+    for pos, var in bound:
+        sources[pos] = [value_of(i) for i in columns[var]]
+    for pos, _ in free:
+        sources[pos] = repeat(UNBOUND, length)
+    for pos, _ in dups:
+        sources[pos] = repeat(UNBOUND, length)
+    patterns = zip(*sources) if arity else repeat((), length)
+
+    out_columns = {v: [] for v in columns}
+    out_columns.update({var: [] for _, var in free})
+    old = [(out_columns[v].append, columns[v]) for v in columns]
+    new = [(out_columns[var].append, pos) for pos, var in free]
+    count = 0
+    for r, pattern in enumerate(patterns):
+        for solution in builtin.evaluate(pattern):
+            if dups and not all(
+                solution[p] == solution[q] for p, q in dups
+            ):
+                continue
+            for append, col in old:
+                append(col[r])
+            for append, pos in new:
+                append(intern(solution[pos]))
+            count += 1
+    return out_columns, count
+
+
+def _filter_negation_ids(
+    columns, length, atom, consts, bound, db: SetDatabase, registry, stats
+):
+    arity = atom.arity
+    if atom.predicate in registry:
+        builtin = registry.get(atom.predicate)
+        value_of = db.interner.value_of
+        sources: list = [None] * arity
+        for pos, value in consts:
+            sources[pos] = repeat(value, length)
+        for pos, var in bound:
+            sources[pos] = [value_of(i) for i in columns[var]]
+        patterns = zip(*sources) if arity else repeat((), length)
+        held_flags = [
+            bool(any(builtin.evaluate(pattern))) for pattern in patterns
+        ]
+    elif arity == 1:
+        bits = db.bits(atom.predicate)
+        if consts:
+            cid = db.interner.intern(consts[0][1])
+            held_flags = [bool((bits >> cid) & 1)] * length
+        else:
+            column = columns[bound[0][1]]
+            held_flags = [
+                bool((bits >> column[r]) & 1) for r in range(length)
+            ]
+    else:
+        intern = db.interner.intern
+        rel = db.relation(atom.predicate)
+        sources = [None] * arity
+        for pos, value in consts:
+            sources[pos] = repeat(intern(value), length)
+        for pos, var in bound:
+            sources[pos] = columns[var]
+        patterns = zip(*sources) if arity else repeat((), length)
+        held_flags = [pattern in rel for pattern in patterns]
+    keep = [r for r, held in enumerate(held_flags) if not held]
+    stats.killed_by_extensional += length - len(keep)
+    return _take_rows(columns, keep), len(keep)
+
+
 def evaluate_via_grounding(
     program: Program,
-    db: Database | Structure,
+    db: "Database | Structure | SetDatabase",
     registry: BuiltinRegistry | None = None,
     stats: GroundingStats | None = None,
     prepared: PreparedGrounding | None = None,
 ) -> set[Fact]:
     """The Theorem 4.4 pipeline: ground, then linear-time Horn solving.
 
+    Runs the interned pipeline (one shared :class:`InternPool` from
+    load through decode) and decodes the derived model at the very end.
     Returns the derived intensional facts (the extensional database is
     unchanged and not repeated in the result).
     """
-    rules = ground_program(program, db, registry, stats, prepared=prepared)
-    return set(horn_least_model(rules))
+    if prepared is None:
+        prepared = prepare_grounding(program, registry)
+    sdb = db if isinstance(db, SetDatabase) else SetDatabase.from_edb(db)
+    pool = InternPool(sdb.interner)
+    rules = ground_program_ids(prepared, sdb, pool, stats)
+    flags = horn_least_model_ids(rules, len(pool))
+    decode = pool.decode_atom
+    return {decode(i) for i, flag in enumerate(flags) if flag}

@@ -88,3 +88,46 @@ def horn_least_model(rules: Iterable[GroundRule]) -> set[PropAtom]:
 
 def horn_entails(rules: Iterable[GroundRule], goal: PropAtom) -> bool:
     return goal in horn_least_model(rules)
+
+
+def horn_least_model_ids(
+    rules: Iterable[tuple[int, tuple[int, ...]]], atom_count: int
+) -> bytearray:
+    """The least model of ground Horn rules over pre-interned atom ids.
+
+    The native back half of the interned Theorem 4.4 pipeline: callers
+    (:func:`repro.datalog.grounding.ground_program_ids`) already hold
+    atoms as dense ids from a shared
+    :class:`~repro.datalog.interning.InternPool`, so unlike
+    :func:`horn_least_model` nothing is hashed here at all -- rules are
+    ``(head_id, body_ids)`` pairs, propagation walks flat lists, and
+    the result is the 0/1 flag array ``derived`` indexed by atom id
+    (``atom_count`` = pool size; decoding back to facts is the
+    caller's -- lazy -- concern).
+    """
+    waiting: list[list[int]] = [[] for _ in range(atom_count)]
+    derived = bytearray(atom_count)
+    heads: list[int] = []  # rule index -> head atom id
+    counters: list[int] = []  # rule index -> unsatisfied body atoms
+    queue: list[int] = []
+
+    for index, (head_id, body) in enumerate(rules):
+        heads.append(head_id)
+        body_ids = set(body)
+        counters.append(len(body_ids))
+        for body_id in body_ids:
+            waiting[body_id].append(index)
+        if not body_ids and not derived[head_id]:
+            derived[head_id] = 1
+            queue.append(head_id)
+
+    while queue:
+        atom_id = queue.pop()
+        for index in waiting[atom_id]:
+            counters[index] -= 1
+            if counters[index] == 0:
+                head_id = heads[index]
+                if not derived[head_id]:
+                    derived[head_id] = 1
+                    queue.append(head_id)
+    return derived

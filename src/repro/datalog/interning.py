@@ -22,8 +22,11 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, Iterator
 
+from ..structures.structure import Fact
+
 __all__ = [
     "Interner",
+    "InternPool",
     "bitset_of",
     "iter_bits",
     "popcount",
@@ -96,6 +99,90 @@ class Interner:
     def values(self) -> Iterator[Hashable]:
         """All interned values in id order."""
         return iter(self._values)
+
+
+class InternPool:
+    """One solve's shared interning context: values *and* ground atoms.
+
+    The Theorem 4.4 pipeline moves whole ground atoms across a module
+    boundary (guard instantiation emits them, unit resolution consumes
+    them).  The complexity argument of the paper assumes constant-time
+    atom identity, so the pool couples the domain-value
+    :class:`Interner` with a second dense-id layer for ground atoms:
+    ``(predicate, interned-arg-id tuple)`` pairs become consecutive
+    atom ids.  Grounding, Horn solving, and result decoding all share
+    one pool per solve, so a fact is interned exactly once and the
+    grounding -> horn boundary is pure integers -- no raw-value tuples,
+    no re-hashing of structured atoms per propagation step.
+
+    Decoding is lazy and allocation-free: :meth:`atom_of` is a list
+    lookup, :meth:`decode_atom` translates arg ids back through the
+    shared interner only when a caller actually asks for the value-level
+    :class:`~repro.structures.structure.Fact`.
+    """
+
+    __slots__ = ("interner", "_atom_ids", "_atoms")
+
+    def __init__(self, interner: Interner | None = None):
+        self.interner = interner if interner is not None else Interner()
+        self._atom_ids: dict[tuple[str, tuple[int, ...]], int] = {}
+        self._atoms: list[tuple[str, tuple[int, ...]]] = []
+
+    def __len__(self) -> int:
+        """Number of distinct ground atoms interned so far."""
+        return len(self._atoms)
+
+    def atom_id(self, predicate: str, args: tuple[int, ...]) -> int:
+        """The dense id of ``predicate(args)``; ``args`` are interned
+        value ids.  Allocates a fresh id on first sight."""
+        key = (predicate, args)
+        ids = self._atom_ids
+        found = ids.get(key)
+        if found is None:
+            found = len(self._atoms)
+            ids[key] = found
+            self._atoms.append(key)
+        return found
+
+    def atom_ids(
+        self, predicate: str, rows: Iterable[tuple[int, ...]]
+    ) -> list[int]:
+        """Bulk :meth:`atom_id`: one id per row of arg-id tuples.
+
+        The grounding emitter calls this once per (rule, atom) with the
+        whole instantiation batch, so the dict probe loop runs with
+        bound locals instead of a per-row method call."""
+        ids = self._atom_ids
+        atoms = self._atoms
+        out: list[int] = []
+        append = out.append
+        for args in rows:
+            key = (predicate, args)
+            found = ids.get(key)
+            if found is None:
+                found = len(atoms)
+                ids[key] = found
+                atoms.append(key)
+            append(found)
+        return out
+
+    def lookup_atom(self, predicate: str, args: tuple[int, ...]) -> int | None:
+        """Like :meth:`atom_id` but never allocates: ``None`` for atoms
+        that were never interned (membership tests on the decoded
+        side must not grow the pool)."""
+        return self._atom_ids.get((predicate, args))
+
+    def atom_of(self, atom_id: int) -> tuple[str, tuple[int, ...]]:
+        """Invert :meth:`atom_id` (still in interned-id space)."""
+        return self._atoms[atom_id]
+
+    def decode_atom(self, atom_id: int) -> Fact:
+        """The value-level fact for an atom id (lazy decode boundary)."""
+        predicate, args = self._atoms[atom_id]
+        if self.interner.is_identity:
+            return Fact(predicate, args)
+        value_of = self.interner.value_of
+        return Fact(predicate, tuple(value_of(i) for i in args))
 
 
 # ----------------------------------------------------------------------

@@ -225,6 +225,25 @@ class SetDatabase:
             per_pred[positions] = index
         return index
 
+    def decode_relation(self, predicate: str) -> set[tuple]:
+        """Decode one relation to raw-value tuples (the lazy boundary:
+        a goal-directed caller decodes its answer predicate and nothing
+        else)."""
+        rel = self._facts.get(predicate, _EMPTY_SET)
+        if self.interner.is_identity:
+            return set(rel)
+        value_of = self.interner.value_of
+        return {tuple(value_of(i) for i in args) for args in rel}
+
+    def copy_relation(self, src: str, dst: str) -> None:
+        """Alias ``src``'s facts under predicate ``dst`` -- entirely in
+        interned-id space (bitsets and indexes of ``dst`` are
+        maintained by :meth:`add`).  This is how the magic backend
+        surfaces adorned answers under the original predicate name
+        without decoding at the backend boundary."""
+        for args in list(self._facts.get(src, ())):
+            self.add(dst, args)
+
     def decode(self) -> Database:
         """Materialize a plain value-level :class:`Database`."""
         if self.interner.is_identity:

@@ -1,8 +1,14 @@
-"""Tests for the benchmark harness utilities."""
+"""Tests for the benchmark harness utilities and the engine baseline."""
+
+import importlib.util
+import json
+from pathlib import Path
 
 import pytest
 
 from repro.bench import fit_linear, format_ms, format_table, time_ms
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
 
 
 class TestTiming:
@@ -32,6 +38,101 @@ class TestFormatting:
         lines = table.splitlines()
         assert len(lines) == 4
         assert len(set(map(len, lines))) == 1  # all lines equal width
+
+
+def _bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_datalog_engine",
+        REPO_ROOT / "benchmarks" / "bench_datalog_engine.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestEngineBaseline:
+    """The checked-in BENCH_engine.json baseline and the CI gate logic
+    around its new quasi-guarded solver entries."""
+
+    @pytest.fixture(scope="class")
+    def payload(self):
+        return json.loads((REPO_ROOT / "BENCH_engine.json").read_text())
+
+    def test_schema_version(self, payload):
+        assert payload["schema"] == "bench-engine/v2"
+        assert payload["benchmark"] == "benchmarks/bench_datalog_engine.py"
+
+    def test_engine_workloads_shape(self, payload):
+        for name, backends in payload["workloads"].items():
+            for backend, run in backends.items():
+                assert run["ms"] > 0, (name, backend)
+                assert run["facts_derived"] > 0, (name, backend)
+
+    def test_quasi_guarded_solver_entries(self, payload):
+        solver = payload["solver_workloads"]
+        assert any(n.startswith("solve-grid-") for n in solver)
+        assert any(n.startswith("solve-chain-") for n in solver)
+        assert any(n.startswith("solve-tree-") for n in solver)
+        for name, backends in solver.items():
+            assert set(backends) == {"quasi-guarded", "quasi-guarded-raw"}
+            for run in backends.values():
+                assert run["ms"] > 0, name
+                assert run["answers"] > 0, name
+                assert run["ground_rules"] > 0, name
+            # the two pipelines agreed when the baseline was written
+            assert (
+                backends["quasi-guarded"]["answers"]
+                == backends["quasi-guarded-raw"]["answers"]
+            ), name
+            assert (
+                backends["quasi-guarded"]["ground_rules"]
+                == backends["quasi-guarded-raw"]["ground_rules"]
+            ), name
+
+    def test_recorded_grid_speedup_meets_the_gate(self, payload):
+        grids = [
+            n
+            for n in payload["solver_speedups"]
+            if n.startswith("solve-grid-")
+        ]
+        assert grids
+        for name in grids:
+            assert payload["solver_speedups"][name] >= 2, name
+
+    def test_solver_contract_gate_fires_below_2x_on_grid(self):
+        bench = _bench_module()
+        runs = {
+            "quasi-guarded": {"ms": 10.0},
+            "quasi-guarded-raw": {"ms": 15.0},
+        }
+        failures = bench.check_solver_contracts("solve-grid-8", runs)
+        assert any("2x" in f for f in failures)
+
+    def test_solver_contract_gate_passes_at_2x_on_grid(self):
+        bench = _bench_module()
+        runs = {
+            "quasi-guarded": {"ms": 5.0},
+            "quasi-guarded-raw": {"ms": 15.0},
+        }
+        assert bench.check_solver_contracts("solve-grid-8", runs) == []
+
+    def test_solver_contract_gate_rejects_interned_slower_anywhere(self):
+        bench = _bench_module()
+        runs = {
+            "quasi-guarded": {"ms": 20.0},
+            "quasi-guarded-raw": {"ms": 15.0},
+        }
+        failures = bench.check_solver_contracts("solve-chain-120", runs)
+        assert any("slower" in f for f in failures)
+
+    def test_quick_run_exercises_the_solver_gate(self):
+        """The CI --quick invocation must include a grid solver
+        workload, so the 2x gate is actually exercised."""
+        bench = _bench_module()
+        names = [w[0] for w in bench.solver_workloads(quick=True)]
+        assert any(n.startswith("solve-grid-") for n in names)
+        assert any(n.startswith("solve-chain-") for n in names)
+        assert any(n.startswith("solve-tree-") for n in names)
 
 
 class TestLinearFit:

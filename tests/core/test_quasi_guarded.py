@@ -61,3 +61,50 @@ class TestEvaluator:
         assert not result.holds("t", "missing")
         assert result.unary_answers("t") == frozenset({"n0", "n1", "n2"})
         assert result.ground_rules == 4
+
+    def test_raw_ablation_matches_interned(self):
+        interned = QuasiGuardedEvaluator(PROG, bag_arity=3)
+        raw = QuasiGuardedEvaluator(PROG, bag_arity=3, interned=False)
+        a = interned.evaluate(tree_db())
+        b = raw.evaluate(tree_db())
+        assert a.facts == b.facts
+        assert a.ground_rules == b.ground_rules
+        assert a.unary_answers("t") == b.unary_answers("t")
+
+    def test_facts_decode_lazily_and_cache(self):
+        evaluator = QuasiGuardedEvaluator(PROG, bag_arity=3)
+        result = evaluator.evaluate(tree_db())
+        assert result._facts is None  # nothing decoded yet
+        first = result.facts
+        assert first is result.facts  # cached on first access
+        assert {f.args for f in first if f.predicate == "t"} == {
+            ("n0",),
+            ("n1",),
+            ("n2",),
+        }
+
+    @pytest.mark.parametrize("interned", [True, False])
+    def test_unary_answers_validates_arity(self, interned):
+        """A non-unary fact under the queried predicate must raise, not
+        be silently truncated to its first argument."""
+        binary = parse_program(
+            """
+            t(V) :- bag(V, X0, X1), leaf(V), e(X0, X1).
+            pair(V, X0) :- bag(V, X0, X1), t(V).
+            """
+        )
+        evaluator = QuasiGuardedEvaluator(
+            binary, bag_arity=3, interned=interned
+        )
+        result = evaluator.evaluate(tree_db())
+        assert result.holds("pair", "n2", "c")
+        with pytest.raises(ValueError, match="arity 2, not 1"):
+            result.unary_answers("pair")
+        # nullary facts are rejected the same way
+        full = QuasiGuardedEvaluator(
+            PROG, bag_arity=3, interned=interned
+        ).evaluate(tree_db())
+        with pytest.raises(ValueError, match="arity 0, not 1"):
+            full.unary_answers("ok")
+        # absent predicates simply have no answers
+        assert full.unary_answers("nothing") == frozenset()

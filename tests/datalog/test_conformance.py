@@ -1,0 +1,270 @@
+"""Cross-backend differential conformance suite.
+
+Hypothesis generates random stratified programs (a dedicated monadic
+strategy plus the shared mixed-arity one) and random extensional
+databases, and asserts that every route to the least model lands on the
+*same* model:
+
+* ``naive`` / ``semi-naive`` / ``semi-naive-tuple`` derive identical
+  relations for every intensional predicate;
+* ``magic`` with an all-free query derives the full extent of the
+  queried predicate;
+* the Theorem 4.4 quasi-guarded pipeline -- both the fully interned
+  form and the raw-value ablation -- agrees whenever the program is in
+  its fragment (groundable guard-first);
+* interning round-trips: decoding an interned database and re-interning
+  it is the identity on relations, and the interned grounding -> horn
+  boundary carries *only* dense integer ids (no raw-value tuples).
+
+CI runs this file through a dedicated gate step that fails if it is
+skipped or collects zero tests, so a conftest regression can't silently
+turn the suite off.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.datalog import (
+    Atom,
+    Constant,
+    InternPool,
+    Literal,
+    MagicSetBackend,
+    NotGroundableError,
+    Program,
+    ProgramCache,
+    Rule,
+    SetDatabase,
+    Variable,
+    evaluate_via_grounding,
+    ground_program,
+    ground_program_ids,
+    horn_least_model,
+    horn_least_model_ids,
+    is_magic_predicate,
+    prepare_grounding,
+    solve,
+)
+from repro.datalog.setengine import SetSemiNaiveEvaluator
+
+from ..conftest import (
+    EDB_ARITIES,
+    DATALOG_DOMAIN,
+    TC_TEXT,
+    chain_edges,
+    datalog_databases,
+    datalog_programs,
+)
+
+FULL_BACKENDS = ("naive", "semi-naive", "semi-naive-tuple")
+
+_VARS = [Variable(n) for n in ("X", "Y", "Z")]
+_MONADIC_IDB = {"q": 1, "r": 1}
+
+
+@st.composite
+def monadic_programs(draw, max_rules: int = 5):
+    """Random safe, stratified *monadic* programs: every IDB predicate
+    is unary (the paper's fragment), EDB atoms may be wider."""
+    rules = []
+    all_preds = {**EDB_ARITIES, **_MONADIC_IDB}
+    for _ in range(draw(st.integers(min_value=1, max_value=max_rules))):
+        body: list[Literal] = []
+        for _ in range(draw(st.integers(min_value=1, max_value=3))):
+            pred = draw(st.sampled_from(sorted(all_preds)))
+            args = tuple(
+                draw(st.sampled_from(_VARS))
+                for _ in range(all_preds[pred])
+            )
+            body.append(Literal(Atom(pred, args)))
+        bound = sorted(
+            {a for lit in body for a in lit.atom.args},
+            key=lambda v: v.name,
+        )
+        if draw(st.booleans()):  # optional negated EDB literal
+            pred = draw(st.sampled_from(sorted(EDB_ARITIES)))
+            args = tuple(
+                draw(
+                    st.one_of(
+                        st.sampled_from(bound),
+                        st.sampled_from(DATALOG_DOMAIN).map(Constant),
+                    )
+                )
+                for _ in range(EDB_ARITIES[pred])
+            )
+            body.append(Literal(Atom(pred, args), positive=False))
+        head_pred = draw(st.sampled_from(sorted(_MONADIC_IDB)))
+        head_arg = draw(
+            st.one_of(
+                st.sampled_from(bound),
+                st.sampled_from(DATALOG_DOMAIN).map(Constant),
+            )
+        )
+        rules.append(Rule(Atom(head_pred, (head_arg,)), tuple(body)))
+    return Program(rules)
+
+
+def _derived_relations(db, program):
+    return {
+        predicate: db.relation(predicate)
+        for predicate in program.intensional_predicates()
+    }
+
+
+def _groundable(program):
+    """The prepared grounding if the program is in the Theorem 4.4
+    fragment (orderable guard-first, no negated IDB), else None."""
+    try:
+        return prepare_grounding(program)
+    except NotGroundableError:
+        return None
+
+
+class TestFullFixpointAgreement:
+    @given(program=monadic_programs(), db=datalog_databases())
+    def test_monadic_backends_agree(self, program, db):
+        cache = ProgramCache()
+        reference = None
+        for backend in FULL_BACKENDS:
+            rels = _derived_relations(
+                solve(program, db, backend=backend, cache=cache), program
+            )
+            if reference is None:
+                reference = rels
+            else:
+                assert rels == reference, backend
+
+    @given(program=datalog_programs(), db=datalog_databases())
+    def test_mixed_arity_backends_agree(self, program, db):
+        cache = ProgramCache()
+        reference = None
+        for backend in FULL_BACKENDS:
+            rels = _derived_relations(
+                solve(program, db, backend=backend, cache=cache), program
+            )
+            if reference is None:
+                reference = rels
+            else:
+                assert rels == reference, backend
+
+    @given(program=monadic_programs(), db=datalog_databases(), data=st.data())
+    def test_magic_all_free_query_matches_full_extent(
+        self, program, db, data
+    ):
+        cache = ProgramCache()
+        reference = solve(program, db, backend="semi-naive", cache=cache)
+        predicate = data.draw(
+            st.sampled_from(sorted(program.intensional_predicates())),
+            label="query predicate",
+        )
+        goal = solve(
+            program, db, backend="magic", query=predicate, cache=cache
+        )
+        assert goal.relation(predicate) == reference.relation(predicate)
+
+
+class TestQuasiGuardedAgreement:
+    @given(program=monadic_programs(), db=datalog_databases())
+    def test_interned_and_raw_pipelines_match_semi_naive(self, program, db):
+        prepared = _groundable(program)
+        if prepared is None:
+            return  # outside the Theorem 4.4 fragment; nothing to check
+        interned_facts = evaluate_via_grounding(
+            program, db, prepared=prepared
+        )
+        raw_facts = set(
+            horn_least_model(ground_program(program, db, prepared=prepared))
+        )
+        assert interned_facts == raw_facts
+        reference = solve(program, db, backend="semi-naive")
+        for predicate in program.intensional_predicates():
+            assert {
+                f.args for f in interned_facts if f.predicate == predicate
+            } == reference.relation(predicate)
+
+    @given(program=monadic_programs(), db=datalog_databases())
+    def test_no_raw_tuples_cross_the_grounding_horn_boundary(
+        self, program, db
+    ):
+        """The interned pipeline's rule stream is pure dense ids, and
+        the Horn model over those ids decodes to the raw model."""
+        prepared = _groundable(program)
+        if prepared is None:
+            return
+        sdb = SetDatabase.from_edb(db)
+        pool = InternPool(sdb.interner)
+        rules = ground_program_ids(prepared, sdb, pool)
+        for head, body in rules:
+            assert type(head) is int
+            assert all(type(b) is int for b in body)
+        flags = horn_least_model_ids(rules, len(pool))
+        decoded = {
+            pool.decode_atom(i) for i, flag in enumerate(flags) if flag
+        }
+        assert decoded == set(
+            horn_least_model(ground_program(program, db, prepared=prepared))
+        )
+
+
+class TestInterningRoundTrip:
+    @given(program=monadic_programs(), db=datalog_databases())
+    def test_decode_then_reintern_is_identity(self, program, db):
+        evaluated = SetSemiNaiveEvaluator(program).run(
+            SetDatabase.from_edb(db)
+        )
+        decoded = evaluated.decode()
+        reinterned = SetDatabase.from_edb(decoded)
+        assert {
+            p: reinterned.decode_relation(p)
+            for p in decoded.predicates()
+        } == {p: decoded.relation(p) for p in decoded.predicates()}
+
+    @given(db=datalog_databases())
+    def test_interner_ids_round_trip(self, db):
+        sdb = SetDatabase.from_edb(db)
+        interner = sdb.interner
+        for ident in range(len(interner)):
+            assert interner.id_of(interner.value_of(ident)) == ident
+
+
+class TestMagicStaysInterned:
+    """The demand sets of the magic backend live as bitsets inside the
+    set engine and the decode happens exactly once, at the very end."""
+
+    def test_magic_decodes_exactly_once(self, monkeypatch):
+        from repro.datalog import atom, const, parse_program, var
+        import repro.datalog.setengine as setengine
+
+        decodes = []
+        original = setengine.SetDatabase.decode
+
+        def counting(self):
+            decodes.append(self)
+            return original(self)
+
+        monkeypatch.setattr(setengine.SetDatabase, "decode", counting)
+        tc = parse_program(TC_TEXT)
+        MagicSetBackend().evaluate(
+            tc, chain_edges(12), query=atom("path", const(0), var("Y"))
+        )
+        assert len(decodes) == 1
+
+    def test_magic_demand_predicates_are_bitsets(self):
+        from repro.datalog import atom, const, parse_program, var
+
+        tc = parse_program(TC_TEXT)
+        sdb = MagicSetBackend().evaluate_interned(
+            tc, chain_edges(12), query=atom("path", const(0), var("Y"))
+        )
+        magic_preds = [
+            p for p in sdb.decode().predicates() if is_magic_predicate(p)
+        ]
+        assert magic_preds
+        for predicate in magic_preds:
+            rel = sdb.relation(predicate)
+            arities = {len(args) for args in rel}
+            assert arities <= {0, 1}  # demand is nullary or unary
+            if arities == {1}:
+                # the unary demand set is mirrored as a bitset
+                assert sdb.bits(predicate) == sum(
+                    1 << args[0] for args in rel
+                )
