@@ -23,10 +23,12 @@ Backends compared:
   evaluation, goal-directed on a single-source query.
 
 Alongside the engine backends, the **solver workloads** benchmark the
-Theorem 4.4 quasi-guarded pipeline (grounding + linear-time Horn) on
-the same three workload families, fully interned (``quasi-guarded``)
-vs the raw-value PR 2 pipeline kept as the ablation
-(``quasi-guarded-raw``):
+Theorem 4.4 pipeline (grounding + linear-time Horn) on the same three
+workload families, across its three execution forms: the streamed,
+demand-pruned production path (``quasi-guarded``: ground rules
+instantiated on demand into an online LTUR), the eager interned
+materialization retained as the ablation (``quasi-guarded-eager``, the
+PR 3 path), and the raw-value PR 2 pipeline (``quasi-guarded-raw``):
 
 * ``solve-chain-N`` / ``solve-tree-N`` -- the compiled Theorem 4.5
   ``has_neighbor`` MSO program, evaluated over the ``A_td`` encoding
@@ -38,6 +40,12 @@ vs the raw-value PR 2 pipeline kept as the ablation
   stands in for the compiled MSO solve: same rule shapes
   (bag-guarded leaf/child1/child2 recursion + monadic projections),
   genuinely wide guards.
+
+A **solve_many** workload shards a batch of independent tree
+structures through ``CourcelleSolver.solve_many`` with 1 worker vs a
+small multiprocessing pool and digests the canonicalized answers --
+the results must be identical whatever the worker count (wall-clock is
+recorded, not gated: CI cores vary).
 
 Two entry points:
 
@@ -55,9 +63,16 @@ Two entry points:
      ``semi-naive-tuple`` -- and at chain >= 800 (the default full
      run) it must be >= 3x faster;
   4. on the largest chain, magic is >= 2x faster than full semi-naive;
-  5. the interned quasi-guarded pipeline derives the same unary
-     answers as the raw ablation on every solver workload, is never
-     slower, and is >= 2x faster on the grid solve.
+  5. all three quasi-guarded forms derive identical unary answers on
+     every solver workload; the streamed form prunes rules
+     (``rules_pruned > 0``) on the chain and tree solves and is
+     >= 2x faster than the eager ablation there; the eager interned
+     form stays >= 2x faster than the raw ablation on the grid solve;
+  6. ``solve_many`` returns identical (canonically serialized)
+     results for 1 worker and N workers;
+  7. the checked-in ``BENCH_engine.json`` must match the harness's
+     schema version and workload/backend shape (drift fails CI until
+     the baseline is regenerated).
 """
 
 import argparse
@@ -339,11 +354,24 @@ def run_comparison(quick, repeat=3):
 
 
 # ----------------------------------------------------------------------
-# Solver workloads: the Theorem 4.4 quasi-guarded pipeline, interned
-# vs the raw-value ablation, on the same chain/grid/tree families.
+# Solver workloads: the Theorem 4.4 pipeline -- streamed+pruned vs the
+# eager interned ablation vs raw values -- on chain/grid/tree families.
 # ----------------------------------------------------------------------
 
-SOLVER_BACKENDS = ["quasi-guarded", "quasi-guarded-raw"]
+SCHEMA_VERSION = "bench-engine/v3"
+
+SOLVER_BACKENDS = [
+    "quasi-guarded",
+    "quasi-guarded-eager",
+    "quasi-guarded-raw",
+]
+
+#: backend name -> QuasiGuardedEvaluator mode (mirrors CourcelleSolver)
+SOLVER_MODES = {
+    "quasi-guarded": "streamed",
+    "quasi-guarded-eager": "eager",
+    "quasi-guarded-raw": "raw",
+}
 
 
 def graph_grid(k):
@@ -433,11 +461,13 @@ def solver_workloads(quick):
 
 
 def run_solver_comparison(quick, repeat=3):
-    """The quasi-guarded pipeline, interned vs raw ablation.
+    """The Theorem 4.4 pipeline: streamed vs eager vs raw.
 
     Returns (table rows, per-workload results dict, contract
-    violations).  Contracts: identical unary answers, interned never
-    slower, and >= 2x on the grid solve.
+    violations).  Contracts: identical unary answers across all three
+    forms; the streamed form prunes rules and is >= 2x faster than
+    eager on the chain and tree solves; eager stays >= 2x faster than
+    raw on the grid solve.
     """
     from repro.core import QuasiGuardedEvaluator
 
@@ -450,10 +480,12 @@ def run_solver_comparison(quick, repeat=3):
         answers = {}
         runs = {}
         for backend in SOLVER_BACKENDS:
+            mode = SOLVER_MODES[backend]
             evaluator = QuasiGuardedEvaluator(
                 program,
                 dependencies=deps,
-                interned=(backend == "quasi-guarded"),
+                mode=mode,
+                demand=answer_pred if mode == "streamed" else None,
             )
             warm = evaluator.evaluate(encoded)  # warm-up / cache fill
             answers[backend] = warm.unary_answers(answer_pred)
@@ -468,31 +500,43 @@ def run_solver_comparison(quick, repeat=3):
                 "ground_rules": warm.ground_rules,
                 "answers": len(answers[backend]),
             }
+            if mode == "streamed":
+                runs[backend]["rules_pruned"] = warm.stats.rules_pruned
+                runs[backend]["peak_live_rules"] = (
+                    warm.stats.peak_live_rules
+                )
         results[name] = runs
-        interned_run = runs["quasi-guarded"]
+        streamed_run = runs["quasi-guarded"]
         for backend in SOLVER_BACKENDS:
             run = runs[backend]
-            speedup = run["ms"] / interned_run["ms"] if interned_run["ms"] else float("inf")
+            speedup = (
+                run["ms"] / streamed_run["ms"]
+                if streamed_run["ms"]
+                else float("inf")
+            )
             rows.append(
                 [
                     name,
                     backend,
                     run["answers"],
                     run["ground_rules"],
+                    run.get("rules_pruned", "-"),
                     format_ms(run["ms"]),
                     f"{speedup:.1f}x",
                 ]
             )
-        if answers["quasi-guarded"] != answers["quasi-guarded-raw"]:
-            failures.append(
-                f"{name}: interned and raw quasi-guarded pipelines "
-                f"disagree ({len(answers['quasi-guarded'])} vs "
-                f"{len(answers['quasi-guarded-raw'])} answers)"
-            )
-        if len(answers["quasi-guarded"]) != expected:
+        reference = answers["quasi-guarded"]
+        for backend in SOLVER_BACKENDS[1:]:
+            if answers[backend] != reference:
+                failures.append(
+                    f"{name}: {backend} disagrees with the streamed "
+                    f"pipeline ({len(answers[backend])} vs "
+                    f"{len(reference)} answers)"
+                )
+        if len(reference) != expected:
             failures.append(
                 f"{name}: expected {expected} answers, got "
-                f"{len(answers['quasi-guarded'])}"
+                f"{len(reference)}"
             )
         failures.extend(check_solver_contracts(name, runs))
     return rows, results, failures
@@ -500,27 +544,179 @@ def run_solver_comparison(quick, repeat=3):
 
 def check_solver_contracts(name, runs):
     """The perf contracts of one solver workload; separated out so the
-    test-suite can exercise the gate logic on synthetic timings."""
+    test-suite can exercise the gate logic on synthetic timings.
+
+    The streamed form must dominate on the compiled-MSO chain/tree
+    solves, where most of the eager ground program is dead weight
+    (98%+ of its rules never fire).  The grid cover DP is the
+    counter-case the eager ablation is retained for: its ground
+    program is fully live, so batch materialization has nothing to
+    prune and lower constants -- there the streamed form only has to
+    beat the raw-value pipeline, and the eager-vs-raw interning gate
+    of schema v2 still applies.
+    """
     failures = []
-    interned_ms = runs["quasi-guarded"]["ms"]
-    raw_ms = runs["quasi-guarded-raw"]["ms"]
-    if interned_ms > raw_ms:
+    streamed = runs["quasi-guarded"]
+    eager = runs["quasi-guarded-eager"]
+    raw = runs["quasi-guarded-raw"]
+    chain_or_tree = name.startswith(("solve-chain-", "solve-tree-"))
+    if streamed["ms"] > raw["ms"]:
         failures.append(
-            f"{name}: interned quasi-guarded ({interned_ms:.1f}ms) is "
-            f"slower than the raw ablation ({raw_ms:.1f}ms)"
+            f"{name}: streamed quasi-guarded ({streamed['ms']:.1f}ms) "
+            f"is slower than the raw ablation ({raw['ms']:.1f}ms)"
         )
-    if name.startswith("solve-grid-") and interned_ms * 2 > raw_ms:
+    if chain_or_tree and streamed["ms"] * 2 > eager["ms"]:
         failures.append(
-            f"{name}: interned {interned_ms:.1f}ms vs raw {raw_ms:.1f}ms "
-            "-- less than the required 2x speedup on the grid solve"
+            f"{name}: streamed {streamed['ms']:.1f}ms vs eager "
+            f"{eager['ms']:.1f}ms -- less than the required 2x speedup"
+        )
+    if chain_or_tree and streamed.get("rules_pruned", 0) <= 0:
+        failures.append(
+            f"{name}: streamed grounding pruned no rules -- demand "
+            "pruning is not engaging"
+        )
+    if name.startswith("solve-grid-") and eager["ms"] * 2 > raw["ms"]:
+        failures.append(
+            f"{name}: eager interned {eager['ms']:.1f}ms vs raw "
+            f"{raw['ms']:.1f}ms -- less than the required 2x speedup "
+            "on the grid solve"
         )
     return failures
 
 
-def write_baseline(path, results, solver_results, quick):
-    """The machine-readable perf trajectory consumed by later PRs."""
-    payload = {
-        "schema": "bench-engine/v2",
+# ----------------------------------------------------------------------
+# solve_many: sharded batch solving (ROADMAP item (c))
+# ----------------------------------------------------------------------
+
+
+def _canonical_digest(results) -> str:
+    """A worker-count-independent digest of a solve_many result list."""
+    import hashlib
+
+    canonical = repr(
+        [tuple(sorted(answers, key=repr)) for answers in results]
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def run_solve_many_comparison(quick):
+    """``CourcelleSolver.solve_many`` with 1 worker vs a small pool.
+
+    Returns (results dict, contract violations).  Gated on result
+    identity (canonical digests must match); wall-clock for both
+    worker counts is recorded but not gated -- CI machines differ in
+    core count, and on a single-core runner the pool can only add
+    overhead.
+    """
+    import os
+
+    from repro.core import CourcelleSolver, undirected_graph_filter
+    from repro.mso import formulas
+    from repro.problems import random_tree_graph
+    from repro.structures import GRAPH_SIGNATURE, graph_to_structure
+
+    batch_size, tree_n = (8, 48) if quick else (16, 120)
+    rng = random.Random(0xBEEF)
+    structures = [
+        graph_to_structure(random_tree_graph(rng, tree_n))
+        for _ in range(batch_size)
+    ]
+    solver = CourcelleSolver(
+        formulas.has_neighbor("x"),
+        GRAPH_SIGNATURE,
+        width=1,
+        free_var="x",
+        structure_filter=undirected_graph_filter,
+    )
+    workers = max(2, min(4, os.cpu_count() or 1))
+    # capture the timed run's results: solving (and spawning the pool)
+    # twice per worker setting would double a multi-second CI step
+    serial_runs, sharded_runs = [], []
+    serial_ms = time_ms(
+        lambda: serial_runs.append(solver.solve_many(structures, workers=1)),
+        repeat=1,
+    )
+    sharded_ms = time_ms(
+        lambda: sharded_runs.append(
+            solver.solve_many(structures, workers=workers)
+        ),
+        repeat=1,
+    )
+    serial, sharded = serial_runs[-1], sharded_runs[-1]
+    digest_serial = _canonical_digest(serial)
+    digest_sharded = _canonical_digest(sharded)
+    identical = serial == sharded and digest_serial == digest_sharded
+    failures = []
+    if not identical:
+        failures.append(
+            f"solve_many: 1-worker and {workers}-worker results differ "
+            f"(digests {digest_serial[:12]} vs {digest_sharded[:12]})"
+        )
+    results = {
+        "batch_size": batch_size,
+        "tree_n": tree_n,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "ms_workers_1": round(serial_ms, 3),
+        f"ms_workers_{workers}": round(sharded_ms, 3),
+        "identical": identical,
+        "digest": digest_serial[:16],
+    }
+    return results, failures
+
+
+# ----------------------------------------------------------------------
+# Baseline drift: the checked-in JSON must match the harness
+# ----------------------------------------------------------------------
+
+
+def check_baseline_drift(previous, payload):
+    """Compare the checked-in baseline against a fresh payload.
+
+    Timings are expected to move; the *shape* is not: a schema-version
+    bump or a workload/backend set change without a regenerated
+    ``BENCH_engine.json`` fails CI here rather than silently
+    gatekeeping against a stale baseline.
+    """
+    failures = []
+    if previous is None:
+        return failures  # first run: nothing checked in yet
+    if previous.get("schema") != payload["schema"]:
+        failures.append(
+            f"baseline drift: checked-in schema "
+            f"{previous.get('schema')!r} != harness schema "
+            f"{payload['schema']!r} -- regenerate BENCH_engine.json"
+        )
+        return failures  # shape comparisons are meaningless across schemas
+    if previous.get("quick") == payload["quick"]:
+        for section in ("workloads", "solver_workloads"):
+            old_keys = set(previous.get(section, ()))
+            new_keys = set(payload.get(section, ()))
+            if old_keys != new_keys:
+                failures.append(
+                    f"baseline drift: {section} changed "
+                    f"{sorted(old_keys)} -> {sorted(new_keys)} -- "
+                    "regenerate BENCH_engine.json"
+                )
+    for name, backends in payload.get("solver_workloads", {}).items():
+        old = previous.get("solver_workloads", {}).get(name)
+        if old is not None and set(old) != set(backends):
+            failures.append(
+                f"baseline drift: solver backends for {name} changed "
+                f"{sorted(old)} -> {sorted(backends)} -- regenerate "
+                "BENCH_engine.json"
+            )
+    return failures
+
+
+def build_payload(results, solver_results, solve_many_results, quick):
+    """The machine-readable perf trajectory consumed by later PRs.
+
+    ``solver_speedups`` records the tentpole ratio of this schema
+    version: eager interned materialization over streamed+pruned
+    grounding (how much the push-based emitter saves)."""
+    return {
+        "schema": SCHEMA_VERSION,
         "benchmark": "benchmarks/bench_datalog_engine.py",
         "quick": quick,
         "query": str(SOURCE_QUERY),
@@ -542,14 +738,18 @@ def write_baseline(path, results, solver_results, quick):
         "solver_workloads": solver_results,
         "solver_speedups": {
             name: round(
-                backends["quasi-guarded-raw"]["ms"]
+                backends["quasi-guarded-eager"]["ms"]
                 / backends["quasi-guarded"]["ms"],
                 2,
             )
             for name, backends in solver_results.items()
             if backends.get("quasi-guarded", {}).get("ms")
         },
+        "solve_many": solve_many_results,
     }
+
+
+def write_baseline(path, payload):
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 
@@ -577,7 +777,10 @@ def main(argv=None) -> int:
             ["workload", "backend", "facts", "ms", "vs semi-naive"], rows
         )
     )
-    print("\nsolver workloads (Theorem 4.4 pipeline, interned vs raw)")
+    print(
+        "\nsolver workloads (Theorem 4.4 pipeline: "
+        "streamed+pruned vs eager vs raw)"
+    )
     solver_rows, solver_results, solver_failures = run_solver_comparison(
         args.quick, repeat=repeat
     )
@@ -589,13 +792,31 @@ def main(argv=None) -> int:
                 "backend",
                 "answers",
                 "ground rules",
+                "pruned",
                 "ms",
-                "vs interned",
+                "vs streamed",
             ],
             solver_rows,
         )
     )
-    out = write_baseline(args.out, results, solver_results, args.quick)
+    print("\nsolve_many (sharded batch, 1 worker vs pool)")
+    solve_many_results, solve_many_failures = run_solve_many_comparison(
+        args.quick
+    )
+    failures.extend(solve_many_failures)
+    for key, value in sorted(solve_many_results.items()):
+        print(f"  {key}: {value}")
+    payload = build_payload(
+        results, solver_results, solve_many_results, args.quick
+    )
+    previous = None
+    if args.out.exists():
+        try:
+            previous = json.loads(args.out.read_text())
+        except json.JSONDecodeError:
+            failures.append(f"baseline drift: {args.out} is not valid JSON")
+    failures.extend(check_baseline_drift(previous, payload))
+    out = write_baseline(args.out, payload)
     print(f"\nwrote {out}")
     if failures:
         print("\nCONTRACT VIOLATIONS:")
@@ -605,9 +826,12 @@ def main(argv=None) -> int:
     print(
         "\nok: identical derived facts across full backends; magic derives "
         "strictly fewer facts and is >= 2x faster on the largest chain; "
-        "set-at-a-time semi-naive beats tuple-at-a-time; the interned "
-        "quasi-guarded pipeline matches the raw ablation's answers and is "
-        ">= 2x faster on the grid solve"
+        "set-at-a-time semi-naive beats tuple-at-a-time; the streamed "
+        "quasi-guarded pipeline matches the eager and raw ablations' "
+        "answers, prunes rules, and is >= 2x faster than eager on the "
+        "chain and tree solves; eager stays >= 2x over raw on the grid "
+        "solve; solve_many is worker-count-invariant; the baseline schema "
+        "matches the harness"
     )
     return 0
 

@@ -14,6 +14,7 @@ from typing import Callable, Iterable, Sequence
 
 from ..datalog.backends import get_backend
 from ..datalog.evaluate import EvaluationStats
+from ..datalog.setengine import SetDatabase
 
 
 def time_ms(fn: Callable[[], object], repeat: int = 3) -> float:
@@ -79,6 +80,13 @@ def compare_backends(
     compiled-program cache is hot and the timings measure
     per-structure work, which is what the backends differ on), then
     best-of-``repeat`` wall clock.
+
+    The EDB is interned into a :class:`SetDatabase` **once per compare
+    run** (ROADMAP item (e)): interning backends receive that database
+    and start each evaluation from a cheap
+    :meth:`~repro.datalog.setengine.SetDatabase.snapshot` instead of
+    re-paying the per-tuple structure load, while the tuple-at-a-time
+    ablations keep receiving the raw EDB they operate on.
     """
     if backends is None:
         backends = (
@@ -86,15 +94,22 @@ def compare_backends(
             if query is not None
             else ("naive", "semi-naive", "semi-naive-tuple")
         )
+    interned_edb = None  # built on the first backend that can use it
     runs: list[BackendRun] = []
     for name in backends:
         backend = get_backend(name, cache)
+        if hasattr(backend, "evaluate_interned"):
+            if interned_edb is None:
+                interned_edb = SetDatabase.from_edb(edb)
+            source = interned_edb
+        else:
+            source = edb
         # every backend accepts query=; non-goal-directed ones ignore it
-        backend.evaluate(program, edb, query=query)  # warm-up / cache fill
+        backend.evaluate(program, source, query=query)  # warm-up / cache fill
         stats = EvaluationStats()
-        backend.evaluate(program, edb, query=query, stats=stats)
+        backend.evaluate(program, source, query=query, stats=stats)
         ms = time_ms(
-            lambda: backend.evaluate(program, edb, query=query),
+            lambda: backend.evaluate(program, source, query=query),
             repeat=repeat,
         )
         runs.append(

@@ -10,7 +10,7 @@ from .mso_to_datalog import (
     undirected_graph_filter,
 )
 from .quasi_guarded import QuasiGuardedEvaluator, QuasiGuardedResult
-from .solver import CourcelleSolver
+from .solver import CourcelleSolver, default_worker_count
 
 __all__ = [
     "ANSWER_PREDICATE",
@@ -21,6 +21,7 @@ __all__ = [
     "QuasiGuardedEvaluator",
     "QuasiGuardedResult",
     "compile_sentence",
+    "default_worker_count",
     "undirected_graph_filter",
     "compile_unary_query",
 ]

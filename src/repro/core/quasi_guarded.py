@@ -8,16 +8,29 @@ This module packages the two halves
 (:mod:`repro.datalog.grounding` + :mod:`repro.datalog.horn`) behind a
 checked facade and is what the generic Theorem 4.5 programs run on.
 
-The production path is fully *interned*: the structure is loaded once
-into a :class:`~repro.datalog.setengine.SetDatabase` (dense-int fact
-tuples), one :class:`~repro.datalog.interning.InternPool` is threaded
-from that load through grounding, unit resolution, and result decoding
--- a fact is interned exactly once per solve, the grounding -> horn
-boundary is pure integers, and :class:`QuasiGuardedResult` decodes
-lazily on access (a ``query()`` for one unary predicate never
-materializes the rest of the model).  The PR 2-era raw-value pipeline
-is retained behind ``interned=False`` as the ablation baseline of
-``bench_datalog_engine.py``'s solver workloads.
+Three execution modes share the cached per-program plans:
+
+* ``"streamed"`` (the default, the production path of
+  :class:`repro.core.solver.CourcelleSolver`): grounding is a
+  push-based emitter feeding an online LTUR
+  (:class:`~repro.datalog.horn.StreamingHorn`) -- ground rules are
+  instantiated on demand as their driving intensional atoms derive,
+  whole rules are demand-pruned relative to ``demand`` (magic-style
+  relevance at grounding time), and peak live-rule residency is the
+  waiting frontier, not the ground program;
+* ``"eager"`` (the PR 3 pipeline, retained as the
+  ``quasi-guarded-eager`` ablation): the full ground program is
+  materialized interned, then solved by batch LTUR;
+* ``"raw"`` (the PR 2 pipeline, the ``quasi-guarded-raw`` ablation):
+  the same eager materialization over raw values.
+
+All interned modes thread one
+:class:`~repro.datalog.interning.InternPool` from structure load
+through grounding, unit resolution, and result decoding -- a fact is
+interned exactly once per solve, the grounding -> horn boundary is pure
+integers, and :class:`QuasiGuardedResult` decodes lazily on access (a
+``query()`` for one unary predicate never materializes the rest of the
+model).
 """
 
 from __future__ import annotations
@@ -30,12 +43,17 @@ from ..datalog.grounding import (
     GroundingStats,
     ground_program,
     ground_program_ids,
+    ground_program_streamed,
+    resolve_demand,
 )
 from ..datalog.guards import KeyDependency, is_quasi_guarded, td_key_dependencies
 from ..datalog.horn import horn_least_model, horn_least_model_ids
 from ..datalog.interning import InternPool
 from ..datalog.setengine import SetDatabase
 from ..structures.structure import Fact, Structure
+
+_MODES = ("streamed", "eager", "raw")
+_UNRESOLVED = object()  # sentinel: derive the relevance set here
 
 
 class QuasiGuardedResult:
@@ -47,9 +65,16 @@ class QuasiGuardedResult:
     set is only materialized on first access.  Raw-path results (the
     ablation) are constructed from an eager fact set and behave
     identically.
+
+    A *demand-pruned* solve (streamed mode with ``demand`` set) is
+    exact only for the demanded predicates and their relevance cone;
+    predicates outside it are simply absent from the model.
+
+    ``stats`` carries the solve's :class:`GroundingStats` (pruning and
+    residency counters for the streamed mode).
     """
 
-    __slots__ = ("ground_rules", "pool", "_flags", "_facts")
+    __slots__ = ("ground_rules", "pool", "stats", "_flags", "_facts")
 
     def __init__(
         self,
@@ -58,12 +83,14 @@ class QuasiGuardedResult:
         *,
         pool: InternPool | None = None,
         flags: bytearray | None = None,
+        stats: GroundingStats | None = None,
     ):
         if facts is None and (pool is None or flags is None):
             raise ValueError("need either eager facts or pool + flags")
         self.ground_rules = ground_rules
         #: the solve's shared interning context (``None`` on the raw path)
         self.pool = pool
+        self.stats = stats
         self._flags = flags
         self._facts = facts
 
@@ -111,22 +138,11 @@ class QuasiGuardedResult:
                 answers.append(f.args[0])
             return frozenset(answers)
         pool = self.pool
-        atom_of = pool.atom_of
         value_of = pool.interner.value_of
-        answers = []
-        for i, flag in enumerate(self._flags):
-            if not flag:
-                continue
-            pred, args = atom_of(i)
-            if pred != predicate:
-                continue
-            if len(args) != 1:
-                raise ValueError(
-                    f"unary_answers({predicate!r}): fact "
-                    f"{pool.decode_atom(i)} has arity {len(args)}, not 1"
-                )
-            answers.append(value_of(args[0]))
-        return frozenset(answers)
+        return frozenset(
+            value_of(i)
+            for i in pool.unary_arg_ids(predicate, self._flags)
+        )
 
 
 class QuasiGuardedEvaluator:
@@ -134,9 +150,17 @@ class QuasiGuardedEvaluator:
 
     ``dependencies`` are the key constraints used to witness functional
     dependence (Definition 4.3); they default to the ``A_td``
-    constraints for the given bag arity.  ``interned=True`` (the
-    default) runs the fully interned grounding -> horn pipeline;
-    ``interned=False`` keeps the raw-value ablation path.
+    constraints for the given bag arity.  ``mode`` selects the
+    execution form (``"streamed"`` by default; ``"eager"`` /
+    ``"raw"`` are the ablation pipelines); the legacy ``interned``
+    flag maps ``False`` to ``"raw"``.  ``demand`` (streamed mode only)
+    restricts grounding to rules relevant to the given query
+    predicate(s); the result is then exact only for those predicates
+    and their relevance cone.
+
+    ``prepared`` / ``relevant`` hand pre-computed per-program artifacts
+    straight in (the pickle-safe ``solve_many`` worker handoff: the
+    parent resolves them once, workers skip the per-program work).
     """
 
     def __init__(
@@ -147,7 +171,11 @@ class QuasiGuardedEvaluator:
         registry: BuiltinRegistry | None = None,
         require_quasi_guarded: bool = True,
         cache: ProgramCache | None = None,
-        interned: bool = True,
+        interned: bool | None = None,
+        mode: str | None = None,
+        demand=None,
+        prepared=None,
+        relevant=_UNRESOLVED,
     ):
         self.program = program
         if dependencies is None:
@@ -156,21 +184,49 @@ class QuasiGuardedEvaluator:
             )
         self.dependencies = dependencies
         self.registry = registry
-        self.interned = interned
+        if mode is None:
+            mode = "streamed" if interned in (None, True) else "raw"
+        elif interned is not None and interned != (mode != "raw"):
+            raise ValueError(
+                f"mode={mode!r} contradicts interned={interned!r}"
+            )
+        if mode not in _MODES:
+            raise ValueError(
+                f"unknown mode {mode!r}; expected one of {_MODES}"
+            )
+        self.mode = mode
+        self.interned = mode != "raw"
+        if demand is not None and mode != "streamed":
+            raise ValueError(
+                "demand pruning is only available in streamed mode -- "
+                "the eager pipelines materialize everything by design"
+            )
+        self.demand = demand
         if require_quasi_guarded and not is_quasi_guarded(program, dependencies):
             raise ValueError(
                 "program is not quasi-guarded under the declared key "
                 "dependencies (Definition 4.3)"
             )
-        cache = cache if cache is not None else default_cache()
-        # body ordering is per-program work; do it once, share via cache
-        self._prepared = cache.grounding(program, registry)
+        if prepared is not None:
+            self._prepared = prepared
+        else:
+            cache = cache if cache is not None else default_cache()
+            # body ordering is per-program work; do once, share via cache
+            self._prepared = cache.grounding(program, registry)
+        if relevant is not _UNRESOLVED:
+            self._relevant = relevant
+        else:
+            # demand resolution (the adorned relevance traversal) is
+            # also per-program work: resolve it here, not per structure
+            self._relevant = resolve_demand(
+                program, demand, self._prepared.registry
+            )
 
     def evaluate(
         self, data: Structure | Database | SetDatabase
     ) -> QuasiGuardedResult:
         stats = GroundingStats()
-        if not self.interned:
+        if self.mode == "raw":
             rules = ground_program(
                 self.program,
                 data,
@@ -179,7 +235,9 @@ class QuasiGuardedEvaluator:
                 prepared=self._prepared,
             )
             facts = frozenset(horn_least_model(rules))
-            return QuasiGuardedResult(facts, stats.ground_rules)
+            return QuasiGuardedResult(
+                facts, stats.ground_rules, stats=stats
+            )
         # one interning context per solve: structure load, grounding,
         # horn, and result decoding all share sdb.interner via the pool
         sdb = (
@@ -188,8 +246,17 @@ class QuasiGuardedEvaluator:
             else SetDatabase.from_edb(data)
         )
         pool = InternPool(sdb.interner)
-        rules = ground_program_ids(self._prepared, sdb, pool, stats)
-        flags = horn_least_model_ids(rules, len(pool))
+        if self.mode == "eager":
+            rules = ground_program_ids(self._prepared, sdb, pool, stats)
+            flags = horn_least_model_ids(rules, len(pool))
+        else:
+            sink = ground_program_streamed(
+                self._prepared, sdb, pool, stats=stats, relevant=self._relevant
+            )
+            flags = sink.flags(len(pool))
         return QuasiGuardedResult(
-            ground_rules=stats.ground_rules, pool=pool, flags=flags
+            ground_rules=stats.ground_rules,
+            pool=pool,
+            flags=flags,
+            stats=stats,
         )

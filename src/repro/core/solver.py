@@ -9,11 +9,19 @@ The datalog program comes from the Theorem 4.5 compiler (built once per
 (query, signature, width) and reusable over any number of structures,
 which is what makes the data complexity linear), and is evaluated by the
 Theorem 4.4 quasi-guarded pipeline.
+
+Batch workloads go through :meth:`CourcelleSolver.solve_many`, which
+shards independent structures across a ``multiprocessing`` pool: the
+solver pickles as (formula, compiled program, backend) -- compilation
+is *not* repeated per worker -- and results come back in input order
+regardless of worker count.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import dataclasses
+import os
+import pickle
 
 from ..datalog.backends import ProgramCache, default_cache, get_backend
 from ..datalog.guards import is_quasi_guarded
@@ -30,17 +38,28 @@ from .mso_to_datalog import (
     compile_sentence,
     compile_unary_query,
 )
-from .quasi_guarded import QuasiGuardedEvaluator
+from .quasi_guarded import _UNRESOLVED, QuasiGuardedEvaluator
+
+#: CourcelleSolver backend name -> QuasiGuardedEvaluator mode
+_QG_MODES = {
+    "quasi-guarded": "streamed",
+    "quasi-guarded-eager": "eager",
+    "quasi-guarded-raw": "raw",
+}
 
 
 class CourcelleSolver:
     """Solve one MSO query over arbitrarily many width-w structures.
 
     ``backend`` selects how the compiled datalog program is evaluated
-    per structure: ``"quasi-guarded"`` (the default) runs the fully
-    interned Theorem 4.4 grounding + Horn pipeline (one shared intern
-    pool from structure load to answer decoding);
-    ``"quasi-guarded-raw"`` is the same pipeline over raw values (the
+    per structure: ``"quasi-guarded"`` (the default) runs the streamed,
+    demand-pruned Theorem 4.4 pipeline (ground rules instantiated on
+    demand into an online LTUR, rules irrelevant to the answer
+    predicate pruned at grounding time, one shared intern pool from
+    structure load to answer decoding); ``"quasi-guarded-eager"`` is
+    the same interned pipeline materializing the full ground program
+    (the PR 3 path, kept as the measured ablation);
+    ``"quasi-guarded-raw"`` is the eager pipeline over raw values (the
     pre-interning ablation); any name registered in
     :mod:`repro.datalog.backends` (``"naive"``, ``"semi-naive"`` --
     the set-at-a-time engine, ``"semi-naive-tuple"``, ``"magic"``)
@@ -83,19 +102,35 @@ class CourcelleSolver:
                 max_witness_size=max_witness_size,
                 structure_filter=structure_filter,
             )
-        if not is_quasi_guarded(
+        self._wire_backend()
+
+    def _wire_backend(self, prepared=None, relevant=_UNRESOLVED) -> None:
+        """Build the per-backend evaluation machinery.
+
+        ``prepared`` / ``relevant`` are the pickle handoff: a
+        ``solve_many`` worker rebuilds from the parent's per-program
+        artifacts (and trusts the parent's quasi-guardedness check)
+        instead of re-deriving them."""
+        backend = self.backend_name
+        trusted = prepared is not None
+        if not trusted and not is_quasi_guarded(
             self.compiled.program, self.compiled.dependencies()
         ):
             raise AssertionError(
                 "compiled program is not quasi-guarded -- Theorem 4.5 violated"
             )
-        if backend in ("quasi-guarded", "quasi-guarded-raw"):
+        if backend in _QG_MODES:
             self._backend = None
+            mode = _QG_MODES[backend]
             self.evaluator = QuasiGuardedEvaluator(
                 self.compiled.program,
                 dependencies=self.compiled.dependencies(),
                 cache=self.cache,
-                interned=(backend == "quasi-guarded"),
+                mode=mode,
+                demand=ANSWER_PREDICATE if mode == "streamed" else None,
+                require_quasi_guarded=not trusted,
+                prepared=prepared,
+                relevant=relevant,
             )
         else:
             self._backend = get_backend(backend, self.cache)
@@ -104,6 +139,46 @@ class CourcelleSolver:
                 # pay the planning cost now, not on the first solve
                 # (magic plans its rewritten program instead)
                 self.compiled.prepared(cache=self.cache)
+
+    # -- pickling (the solve_many handoff) -----------------------------
+
+    def __getstate__(self):
+        # carry the compiled program and its per-program solve
+        # artifacts (grounding plans + demand relevance), not the
+        # runtime wiring: caches hold locks/closures, and a worker must
+        # neither recompile the Theorem 4.5 program nor re-derive the
+        # plans it hands to every solve
+        state = {
+            "formula": self._formula,
+            "compiled": self.compiled,
+            "backend": self.backend_name,
+        }
+        if self.evaluator is not None:
+            # the builtin registry holds closures; CourcelleSolver
+            # always evaluates with the standard registry, so ship the
+            # plans bare and re-attach it on the other side
+            state["prepared"] = dataclasses.replace(
+                self.evaluator._prepared, registry=None
+            )
+            state["relevant"] = self.evaluator._relevant
+        return state
+
+    def __setstate__(self, state):
+        self._formula = state["formula"]
+        self.compiled = state["compiled"]
+        self.backend_name = state["backend"]
+        self.cache = default_cache()
+        prepared = state.get("prepared")
+        if prepared is not None and prepared.registry is None:
+            from ..datalog.builtins import standard_registry
+
+            prepared = dataclasses.replace(
+                prepared, registry=standard_registry()
+            )
+        self._wire_backend(
+            prepared=prepared,
+            relevant=state.get("relevant", _UNRESOLVED),
+        )
 
     def _backend_answers(self, encoded) -> frozenset:
         """Evaluate via the pluggable backend; the set of phi-tuples.
@@ -185,5 +260,86 @@ class CourcelleSolver:
         result = self.evaluator.evaluate(encoded)
         return result.unary_answers(ANSWER_PREDICATE)
 
+    def solve_many(
+        self,
+        structures,
+        tds=None,
+        workers: int | None = None,
+        chunksize: int | None = None,
+    ) -> list:
+        """Solve a batch of independent structures, optionally sharded.
+
+        Returns one result per structure **in input order** --
+        ``query()`` answer sets for unary queries, ``decide()`` booleans
+        for sentences.  ``workers=None`` or ``1`` solves serially in
+        process; ``workers > 1`` shards the batch across a
+        ``multiprocessing`` pool, handing each worker the pickled
+        compiled program once (compilation is never repeated) and
+        mapping structures in order, so the result list is identical
+        whatever the worker count (ROADMAP item (c): batch workloads
+        scale with cores because each structure's decompose -> encode
+        -> solve chain is independent).
+        """
+        structures = list(structures)
+        if tds is None:
+            tds = [None] * len(structures)
+        else:
+            tds = list(tds)
+            if len(tds) != len(structures):
+                raise ValueError(
+                    f"{len(structures)} structures but {len(tds)} "
+                    "decompositions"
+                )
+        solve_one = self.decide if self.compiled.is_sentence else self.query
+        if workers is None:
+            workers = 1
+        if workers <= 1 or len(structures) <= 1:
+            return [solve_one(s, td) for s, td in zip(structures, tds)]
+        import multiprocessing
+
+        workers = min(workers, len(structures))
+        if chunksize is None:
+            chunksize = max(1, len(structures) // (workers * 4))
+        payload = pickle.dumps(self)
+        context = multiprocessing.get_context()
+        with context.Pool(
+            workers, initializer=_solve_many_init, initargs=(payload,)
+        ) as pool:
+            # Pool.map preserves input order, so the shard assignment
+            # (and any interleaving of completions) cannot reorder or
+            # change the results
+            return pool.map(
+                _solve_many_task, list(zip(structures, tds)), chunksize
+            )
+
     def compiled_formula(self) -> Formula:
         return self._formula
+
+
+def default_worker_count() -> int:
+    """A sensible ``workers=`` for :meth:`CourcelleSolver.solve_many`:
+    the scheduler-visible CPU count, capped so small batches on big
+    machines don't drown in pool startup."""
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cpus = os.cpu_count() or 1
+    return max(1, cpus)
+
+
+#: per-worker solver rebuilt once from the pickled handoff
+_WORKER_SOLVER: CourcelleSolver | None = None
+
+
+def _solve_many_init(payload: bytes) -> None:
+    global _WORKER_SOLVER
+    _WORKER_SOLVER = pickle.loads(payload)
+
+
+def _solve_many_task(item):
+    structure, td = item
+    solver = _WORKER_SOLVER
+    solve_one = (
+        solver.decide if solver.compiled.is_sentence else solver.query
+    )
+    return solve_one(structure, td)

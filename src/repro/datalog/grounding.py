@@ -14,15 +14,32 @@ of only the ones supported by the database, yields the fully
 materialized ground program that Section 6's optimization (2) warns
 about; that variant lives in the benchmark modules.
 
-Two execution forms share the per-rule plans of
+Three execution forms share the per-rule plans of
 :func:`prepare_grounding`:
 
-* the **interned** form (:func:`ground_program_ids`, the production
-  path of :class:`repro.core.quasi_guarded.QuasiGuardedEvaluator`):
-  guard instantiation joins over a
+* the **streamed** form (:func:`ground_program_streamed`, the
+  production path of
+  :class:`repro.core.quasi_guarded.QuasiGuardedEvaluator`): a
+  push-based emitter that instantiates ground rules *on demand* and
+  feeds them one at a time into an online LTUR
+  (:class:`repro.datalog.horn.StreamingHorn`).  Base rules (no
+  intensional body atom) are instantiated up front; every other rule
+  is *driven* by one designated intensional body literal and is only
+  instantiated for the bindings its driver atom actually takes in the
+  least model -- Section 6's optimization (2) ("generate only those
+  ground instances of rules which actually produce new facts"),
+  realized at grounding time.  Demand pruning
+  (:func:`repro.datalog.magic.demanded_predicates`) additionally skips
+  whole rules whose heads cannot reach the query, and statically dead
+  rules (a positive extensional literal over an empty relation) are
+  never instantiated.  Peak live-rule residency is the LTUR's waiting
+  frontier, not the ground program;
+* the **eager interned** form (:func:`ground_program_ids`, the PR 3
+  pipeline, retained as the ``quasi-guarded-eager`` ablation): guard
+  instantiation joins over a
   :class:`~repro.datalog.setengine.SetDatabase` of dense-int fact
-  tuples and emits ground rules as ``(head_atom_id, body_atom_ids)``
-  pairs drawn from a shared
+  tuples and materializes the full ground program as
+  ``(head_atom_id, body_atom_ids)`` pairs drawn from a shared
   :class:`~repro.datalog.interning.InternPool` -- no raw-value tuple
   crosses the grounding -> horn boundary, and
   :func:`repro.datalog.horn.horn_least_model_ids` propagates over the
@@ -44,7 +61,7 @@ from ..structures.structure import Fact, Structure
 from .ast import Atom, Constant, Literal, Program, Rule, Variable
 from .builtins import UNBOUND, BuiltinRegistry, standard_registry
 from .evaluate import Database
-from .horn import GroundRule, horn_least_model, horn_least_model_ids
+from .horn import GroundRule, StreamingHorn, horn_least_model, horn_least_model_ids
 from .interning import InternPool
 from .setengine import SetDatabase
 
@@ -62,6 +79,16 @@ class GroundingStats:
     #: shows up here as a super-linear blow-up even when the final
     #: ground-rule count stays linear)
     bindings_explored: int = 0
+    #: streamed path only: program rules never instantiated at all --
+    #: head outside the demanded set (magic-style relevance), a
+    #: positive extensional body literal over an empty/failing
+    #: relation (statically dead for this structure), or a driver
+    #: predicate that never derived a single atom (driver-starved)
+    rules_pruned: int = 0
+    #: streamed path only: the high-water mark of ground rules stored
+    #: in the online LTUR's waiting frontier -- the streamed analogue
+    #: of the eager pipeline's O(|ground program|) rule list
+    peak_live_rules: int = 0
 
 
 @dataclass(frozen=True)
@@ -71,7 +98,9 @@ class PreparedGrounding:
     Grounding the same compiled program over many structures (the
     Theorem 4.5 amortization) re-runs only the data-dependent half;
     the body-ordering half lives here and is cached by
-    :class:`repro.datalog.backends.ProgramCache`.
+    :class:`repro.datalog.backends.ProgramCache`.  ``plans`` drives the
+    eager forms, ``stream_plans`` the streamed one (same greedy
+    ordering, seeded with the driver literal's variables).
     """
 
     program: Program
@@ -79,6 +108,9 @@ class PreparedGrounding:
     #: parallel to ``program.rules``: (ordered extensional literals,
     #: intensional body literals)
     plans: tuple[tuple[tuple[Literal, ...], tuple[Literal, ...]], ...]
+    #: parallel to ``program.rules``: slot-indexed driver plans for
+    #: :func:`ground_program_streamed`
+    stream_plans: tuple["StreamRulePlan", ...] = ()
 
 
 def prepare_grounding(
@@ -91,7 +123,10 @@ def prepare_grounding(
         tuple(map(tuple, _plan_extensional(rule, idb, registry)))
         for rule in program.rules
     )
-    return PreparedGrounding(program, registry, plans)
+    stream_plans = tuple(
+        _stream_plan(rule, idb, registry) for rule in program.rules
+    )
+    return PreparedGrounding(program, registry, plans, stream_plans)
 
 
 def _plan_extensional(
@@ -121,6 +156,30 @@ def _plan_extensional(
             remaining.append(literal)
 
     bound: set[Variable] = set()
+    ordered = _order_body(remaining, bound, registry, rule)
+
+    needed = rule.variables()
+    if not needed <= bound:
+        missing = sorted(v.name for v in needed - bound)
+        raise NotGroundableError(
+            f"variables {missing} not bound by the extensional body of: {rule}"
+        )
+    return ordered, idb_literals
+
+
+def _order_body(
+    remaining: list[Literal],
+    bound: set[Variable],
+    registry: BuiltinRegistry,
+    rule: Rule,
+) -> list[Literal]:
+    """Greedy bound-first ordering of ``remaining``; mutates ``bound``.
+
+    Shared by the guard-first plan (``bound`` starts empty) and the
+    streamed driver plans (``bound`` starts at the driver literal's
+    variables).
+    """
+    remaining = list(remaining)
     ordered: list[Literal] = []
 
     def mask(atom: Atom) -> tuple[bool, ...]:
@@ -161,14 +220,7 @@ def _plan_extensional(
         remaining.remove(chosen)
         bound.update(chosen.atom.variables())
         ordered.append(chosen)
-
-    needed = rule.variables()
-    if not needed <= bound:
-        missing = sorted(v.name for v in needed - bound)
-        raise NotGroundableError(
-            f"variables {missing} not bound by the extensional body of: {rule}"
-        )
-    return ordered, idb_literals
+    return ordered
 
 
 def ground_program(
@@ -753,6 +805,665 @@ def _filter_negation_ids(
     keep = [r for r, held in enumerate(held_flags) if not held]
     stats.killed_by_extensional += length - len(keep)
     return _take_rows(columns, keep), len(keep)
+
+
+# ----------------------------------------------------------------------
+# The streamed form: a push-based emitter that instantiates ground
+# rules on demand and feeds them into an online LTUR.  Every rule with
+# an intensional body literal is *driven* by its first such literal:
+# instances are generated exactly when the driver's atom derives (each
+# derived atom is fresh exactly once, so each instance is generated
+# exactly once), and instances still waiting on the rule's other
+# intensional atoms are parked in the StreamingHorn until those derive.
+# Rules whose driver predicate never derives are never instantiated at
+# all -- that, together with magic-style head relevance and statically
+# dead extensional literals, is the demand pruning measured by
+# ``GroundingStats.rules_pruned``.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _StreamStep:
+    """One extensional body literal, classified against the slot layout
+    (static per program; interned/resolved per structure)."""
+
+    kind: str  # "rel" | "builtin" | "neg" | "neg-builtin"
+    predicate: str
+    arity: int
+    consts: tuple[tuple[int, object], ...]  # (pos, raw constant value)
+    bound: tuple[tuple[int, int], ...]  # (pos, slot)
+    free: tuple[tuple[int, int], ...]  # (pos, fresh slot)
+    dups: tuple[tuple[int, int], ...]  # (pos, first-occurrence pos)
+
+
+@dataclass(frozen=True)
+class StreamRulePlan:
+    """The static (per-program) half of one rule's streamed plan."""
+
+    rule: Rule
+    nslots: int
+    #: the driving intensional body literal; ``None`` for base rules
+    driver: Literal | None
+    driver_consts: tuple[tuple[int, object], ...]  # (pos, raw value)
+    driver_slots: tuple[tuple[int, int], ...]  # (pos, slot)
+    driver_dups: tuple[tuple[int, int], ...]  # (pos, earlier pos)
+    steps: tuple[_StreamStep, ...]
+    #: (predicate, argsrc, raw consts): argsrc entries are slot indexes
+    #: (>= 0) or ``-k-1`` references into the consts tuple
+    head: tuple[str, tuple[int, ...], tuple]
+    #: the non-driver intensional body literals, same encoding
+    others: tuple[tuple[str, tuple[int, ...], tuple], ...]
+
+
+def _stream_plan(
+    rule: Rule, idb: frozenset[str], registry: BuiltinRegistry
+) -> StreamRulePlan:
+    idb_literals: list[Literal] = []
+    extensional: list[Literal] = []
+    for literal in rule.body:
+        if literal.atom.predicate in idb:
+            if not literal.positive:
+                raise NotGroundableError(
+                    f"negated intensional atom {literal} unsupported"
+                )
+            idb_literals.append(literal)
+        else:
+            extensional.append(literal)
+
+    slot_of: dict[Variable, int] = {}
+
+    def slot(variable: Variable) -> int:
+        found = slot_of.get(variable)
+        if found is None:
+            found = len(slot_of)
+            slot_of[variable] = found
+        return found
+
+    driver = idb_literals[0] if idb_literals else None
+    others = idb_literals[1:] if idb_literals else []
+    driver_consts: list[tuple[int, object]] = []
+    driver_slots: list[tuple[int, int]] = []
+    driver_dups: list[tuple[int, int]] = []
+    if driver is not None:
+        first_pos: dict[Variable, int] = {}
+        for pos, arg in enumerate(driver.atom.args):
+            if isinstance(arg, Constant):
+                driver_consts.append((pos, arg.value))
+            elif arg in first_pos:
+                driver_dups.append((pos, first_pos[arg]))
+            else:
+                first_pos[arg] = pos
+                driver_slots.append((pos, slot(arg)))
+
+    bound_vars = set(slot_of)
+    ordered = _order_body(extensional, bound_vars, registry, rule)
+    needed = rule.variables()
+    if not needed <= bound_vars:
+        missing = sorted(v.name for v in needed - bound_vars)
+        raise NotGroundableError(
+            f"variables {missing} not bound by the extensional body of: {rule}"
+        )
+
+    steps: list[_StreamStep] = []
+    for literal in ordered:
+        atom = literal.atom
+        consts: list[tuple[int, object]] = []
+        bound: list[tuple[int, int]] = []
+        free: list[tuple[int, int]] = []
+        dups: list[tuple[int, int]] = []
+        first_pos = {}
+        for pos, arg in enumerate(atom.args):
+            if isinstance(arg, Constant):
+                consts.append((pos, arg.value))
+            elif arg in first_pos:
+                dups.append((pos, first_pos[arg]))
+            elif arg in slot_of:
+                bound.append((pos, slot_of[arg]))
+            else:
+                first_pos[arg] = pos
+                free.append((pos, slot(arg)))
+        if literal.positive:
+            kind = "builtin" if atom.predicate in registry else "rel"
+        else:
+            if free or dups:
+                raise NotGroundableError(
+                    f"negated atom {atom} not bound during grounding"
+                )
+            kind = "neg-builtin" if atom.predicate in registry else "neg"
+        steps.append(
+            _StreamStep(
+                kind,
+                atom.predicate,
+                atom.arity,
+                tuple(consts),
+                tuple(bound),
+                tuple(free),
+                tuple(dups),
+            )
+        )
+
+    def emission_spec(atom: Atom) -> tuple[str, tuple[int, ...], tuple]:
+        argsrc: list[int] = []
+        const_values: list = []
+        for arg in atom.args:
+            if isinstance(arg, Constant):
+                argsrc.append(-len(const_values) - 1)
+                const_values.append(arg.value)
+            else:
+                argsrc.append(slot_of[arg])
+        return (atom.predicate, tuple(argsrc), tuple(const_values))
+
+    return StreamRulePlan(
+        rule=rule,
+        nslots=len(slot_of),
+        driver=driver,
+        driver_consts=tuple(driver_consts),
+        driver_slots=tuple(driver_slots),
+        driver_dups=tuple(driver_dups),
+        steps=tuple(steps),
+        head=emission_spec(rule.head),
+        others=tuple(emission_spec(lit.atom) for lit in others),
+    )
+
+
+# compiled step opcodes (per-structure resolution of _StreamStep)
+_OP_BITS = 0  # unary positive relation, bound slot: bitset test
+_OP_SET = 1  # positive relation, fully bound: set membership
+_OP_PROBE1 = 2  # index probe, single key position (bare-id key)
+_OP_PROBE = 3  # index probe, multi-position key
+_OP_SCAN = 4  # unrestricted scan / cross product
+_OP_BUILTIN = 5  # builtin evaluation (decode in, intern out)
+_OP_NEG_BITS = 6  # negated unary relation, bound slot
+_OP_NEG_SET = 7  # negated relation, fully bound
+_OP_NEG_BUILTIN = 8  # negated builtin, fully bound
+
+_DEAD = object()  # sentinel: rule statically dead for this structure
+
+
+class _CompiledStreamRule:
+    """One rule's per-structure executable stream plan."""
+
+    __slots__ = (
+        "plan",
+        "pool",
+        "sink",
+        "stats",
+        "nslots",
+        "driver_consts",
+        "driver_slots",
+        "driver_dups",
+        "ops",
+        "head",
+        "others",
+        "invoked",
+    )
+
+    def __init__(self, plan, ops, head, others, driver_consts, pool, sink, stats):
+        self.plan = plan
+        self.pool = pool
+        self.sink = sink
+        self.stats = stats
+        self.nslots = plan.nslots
+        self.driver_consts = driver_consts  # (pos, interned id)
+        self.driver_slots = plan.driver_slots
+        self.driver_dups = plan.driver_dups
+        self.ops = ops
+        self.head = head  # (predicate, argsrc, interned const ids)
+        self.others = others
+        self.invoked = False
+
+    def fire(self, args: tuple[int, ...]) -> None:
+        """Instantiate for one freshly derived driver atom."""
+        self.invoked = True
+        for pos, cid in self.driver_consts:
+            if args[pos] != cid:
+                return
+        for pos, earlier in self.driver_dups:
+            if args[pos] != args[earlier]:
+                return
+        row = [0] * self.nslots
+        for pos, s in self.driver_slots:
+            row[s] = args[pos]
+        self._run([row])
+
+    def fire_base(self) -> None:
+        """Instantiate a base rule (no intensional body literal)."""
+        self.invoked = True
+        self._run([[0] * self.nslots])
+
+    def _run(self, rows: list[list[int]]) -> None:
+        stats = self.stats
+        for op in self.ops:
+            code = op[0]
+            if code == _OP_BITS:
+                _, bits, s = op
+                rows = [r for r in rows if (bits >> r[s]) & 1]
+            elif code == _OP_PROBE1:
+                _, get, ksrc, free, dups = op
+                out = []
+                for r in rows:
+                    matches = get(r[ksrc])
+                    if not matches:
+                        continue
+                    for fact in matches:
+                        if dups and any(
+                            fact[p] != fact[q] for p, q in dups
+                        ):
+                            continue
+                        fresh = r.copy()
+                        for p, s in free:
+                            fresh[s] = fact[p]
+                        out.append(fresh)
+                rows = out
+            elif code == _OP_SET:
+                _, rel, key_srcs = op
+                rows = [
+                    r
+                    for r in rows
+                    if tuple(
+                        r[v] if is_slot else v for is_slot, v in key_srcs
+                    )
+                    in rel
+                ]
+            elif code == _OP_PROBE:
+                _, get, key_srcs, free, dups = op
+                out = []
+                for r in rows:
+                    matches = get(
+                        tuple(
+                            r[v] if is_slot else v
+                            for is_slot, v in key_srcs
+                        )
+                    )
+                    if not matches:
+                        continue
+                    for fact in matches:
+                        if dups and any(
+                            fact[p] != fact[q] for p, q in dups
+                        ):
+                            continue
+                        fresh = r.copy()
+                        for p, s in free:
+                            fresh[s] = fact[p]
+                        out.append(fresh)
+                rows = out
+            elif code == _OP_SCAN:
+                _, facts, free, dups = op
+                out = []
+                for r in rows:
+                    for fact in facts:
+                        if dups and any(
+                            fact[p] != fact[q] for p, q in dups
+                        ):
+                            continue
+                        fresh = r.copy()
+                        for p, s in free:
+                            fresh[s] = fact[p]
+                        out.append(fresh)
+                rows = out
+            elif code == _OP_BUILTIN:
+                rows = self._builtin(op, rows)
+            elif code == _OP_NEG_BITS:
+                _, bits, s = op
+                kept = [r for r in rows if not (bits >> r[s]) & 1]
+                stats.killed_by_extensional += len(rows) - len(kept)
+                rows = kept
+            elif code == _OP_NEG_SET:
+                _, rel, key_srcs = op
+                kept = [
+                    r
+                    for r in rows
+                    if tuple(
+                        r[v] if is_slot else v for is_slot, v in key_srcs
+                    )
+                    not in rel
+                ]
+                stats.killed_by_extensional += len(rows) - len(kept)
+                rows = kept
+            else:  # _OP_NEG_BUILTIN
+                _, builtin, pattern_srcs, value_of = op
+                kept = [
+                    r
+                    for r in rows
+                    if not any(
+                        builtin.evaluate(
+                            tuple(
+                                value_of(r[v]) if is_slot else v
+                                for is_slot, v in pattern_srcs
+                            )
+                        )
+                    )
+                ]
+                stats.killed_by_extensional += len(rows) - len(kept)
+                rows = kept
+            if not rows:
+                return
+            stats.bindings_explored += len(rows)
+        self._emit(rows)
+
+    def _builtin(self, op, rows):
+        # builtins see raw values: decode bound ids in, intern fresh
+        # outputs (exactly as the eager forms do)
+        _, builtin, pattern_srcs, free, dups, value_of, intern = op
+        out = []
+        for r in rows:
+            pattern = tuple(
+                value_of(r[v]) if is_slot else v
+                for is_slot, v in pattern_srcs
+            )
+            for solution in builtin.evaluate(pattern):
+                if dups and any(
+                    solution[p] != solution[q] for p, q in dups
+                ):
+                    continue
+                fresh = r.copy()
+                for p, s in free:
+                    fresh[s] = intern(solution[p])
+                out.append(fresh)
+        return out
+
+    def _emit(self, rows: list[list[int]]) -> None:
+        atom_id = self.pool.atom_id
+        add_rule = self.sink.add_rule
+        head_pred, head_src, head_consts = self.head
+        others = self.others
+        self.stats.ground_rules += len(rows)
+        for r in rows:
+            head = atom_id(
+                head_pred,
+                tuple(
+                    r[x] if x >= 0 else head_consts[-x - 1]
+                    for x in head_src
+                ),
+            )
+            if others:
+                add_rule(
+                    head,
+                    tuple(
+                        atom_id(
+                            pred,
+                            tuple(
+                                r[x] if x >= 0 else consts[-x - 1]
+                                for x in src
+                            ),
+                        )
+                        for pred, src, consts in others
+                    ),
+                )
+            else:
+                add_rule(head, ())
+
+
+def _compile_stream_rule(
+    plan: StreamRulePlan,
+    db: SetDatabase,
+    pool: InternPool,
+    registry: BuiltinRegistry,
+    sink: StreamingHorn,
+    stats: GroundingStats,
+):
+    """Resolve one plan against a structure: intern constants, fetch
+    index/bitset/relation handles, statically resolve fully-constant
+    steps.  Returns ``None`` when the rule is dead for this structure
+    (a positive extensional literal can never hold)."""
+    interner = db.interner
+    intern = interner.intern
+    value_of = interner.value_of
+    ops: list[tuple] = []
+    for step in plan.steps:
+        # relation steps compare interned ids; builtin steps see raw
+        # values, so their constants must NOT be interned (that would
+        # grow the shared domain interner for nothing)
+        if step.kind == "rel":
+            consts = [(pos, intern(value)) for pos, value in step.consts]
+            op = _compile_rel(step, consts, db)
+        elif step.kind == "neg":
+            consts = [(pos, intern(value)) for pos, value in step.consts]
+            op = _compile_neg(step, consts, db)
+        elif step.kind == "builtin":
+            op = _compile_builtin(step, registry, value_of, intern)
+        else:  # neg-builtin
+            op = _compile_neg_builtin(step, registry, value_of)
+        if op is _DEAD:
+            return None
+        if op is not None:
+            ops.append(op)
+
+    def interned_spec(spec):
+        predicate, argsrc, const_values = spec
+        return (
+            predicate,
+            argsrc,
+            tuple(intern(value) for value in const_values),
+        )
+
+    return _CompiledStreamRule(
+        plan,
+        tuple(ops),
+        interned_spec(plan.head),
+        tuple(interned_spec(spec) for spec in plan.others),
+        tuple((pos, intern(value)) for pos, value in plan.driver_consts),
+        pool,
+        sink,
+        stats,
+    )
+
+
+def _key_srcs(consts, bound):
+    """(is_slot, value) pairs in sorted key-position order."""
+    merged = [(pos, False, cid) for pos, cid in consts]
+    merged += [(pos, True, s) for pos, s in bound]
+    merged.sort()
+    return tuple((is_slot, v) for _, is_slot, v in merged)
+
+
+def _compile_rel(step, consts, db: SetDatabase):
+    arity = step.arity
+    if not step.free and not step.dups:
+        # fully determined: membership check
+        if arity == 0:
+            return None if () in db.relation(step.predicate) else _DEAD
+        if arity == 1:
+            bits = db.bits(step.predicate)
+            if not bits:
+                return _DEAD  # empty unary relation: can never hold
+            if step.consts:
+                return None if (bits >> consts[0][1]) & 1 else _DEAD
+            return (_OP_BITS, bits, step.bound[0][1])
+        rel = db.relation(step.predicate)
+        if not rel:
+            return _DEAD
+        srcs = _key_srcs(consts, step.bound)
+        if all(not is_slot for is_slot, _ in srcs):
+            key = tuple(v for _, v in srcs)
+            return None if key in rel else _DEAD
+        return (_OP_SET, rel, srcs)
+    # free variables: scan or index probe
+    key_positions = tuple(
+        sorted([pos for pos, _ in consts] + [pos for pos, _ in step.bound])
+    )
+    if not key_positions:
+        facts = db.relation(step.predicate)
+        if not facts:
+            return _DEAD
+        return (_OP_SCAN, tuple(facts), step.free, step.dups)
+    index = db.index_for(step.predicate, key_positions)
+    if not index:
+        return _DEAD
+    if not step.bound:
+        # constants-only key: resolve the probe now
+        if len(key_positions) == 1:
+            matches = index.get(consts[0][1])
+        else:
+            matches = index.get(tuple(cid for _, cid in consts))
+        if not matches:
+            return _DEAD
+        return (_OP_SCAN, tuple(matches), step.free, step.dups)
+    if len(key_positions) == 1:
+        return (_OP_PROBE1, index.get, step.bound[0][1], step.free, step.dups)
+    return (_OP_PROBE, index.get, _key_srcs(consts, step.bound), step.free, step.dups)
+
+
+def _compile_neg(step, consts, db: SetDatabase):
+    arity = step.arity
+    if arity == 0:
+        return _DEAD if () in db.relation(step.predicate) else None
+    if arity == 1:
+        bits = db.bits(step.predicate)
+        if not bits:
+            return None  # negating an empty relation always holds
+        if step.consts:
+            return _DEAD if (bits >> consts[0][1]) & 1 else None
+        return (_OP_NEG_BITS, bits, step.bound[0][1])
+    rel = db.relation(step.predicate)
+    if not rel:
+        return None
+    srcs = _key_srcs(consts, step.bound)
+    if all(not is_slot for is_slot, _ in srcs):
+        key = tuple(v for _, v in srcs)
+        return _DEAD if key in rel else None
+    return (_OP_NEG_SET, rel, srcs)
+
+
+def _pattern_srcs(step):
+    """(is_slot, value) per argument position: raw consts, slots for
+    bound vars, UNBOUND placeholders for free/dup positions."""
+    srcs: list = [None] * step.arity
+    for pos, value in step.consts:
+        srcs[pos] = (False, value)
+    for pos, s in step.bound:
+        srcs[pos] = (True, s)
+    for pos, _ in step.free:
+        srcs[pos] = (False, UNBOUND)
+    for pos, _ in step.dups:
+        srcs[pos] = (False, UNBOUND)
+    return tuple(srcs)
+
+
+def _compile_builtin(step, registry, value_of, intern):
+    builtin = registry.get(step.predicate)
+    pattern_srcs = _pattern_srcs(step)
+    if all(not is_slot for is_slot, _ in pattern_srcs) and not step.free:
+        pattern = tuple(v for _, v in pattern_srcs)
+        return None if any(builtin.evaluate(pattern)) else _DEAD
+    return (
+        _OP_BUILTIN,
+        builtin,
+        pattern_srcs,
+        step.free,
+        step.dups,
+        value_of,
+        intern,
+    )
+
+
+def _compile_neg_builtin(step, registry, value_of):
+    builtin = registry.get(step.predicate)
+    pattern_srcs = _pattern_srcs(step)
+    if all(not is_slot for is_slot, _ in pattern_srcs):
+        pattern = tuple(v for _, v in pattern_srcs)
+        return _DEAD if any(builtin.evaluate(pattern)) else None
+    return (_OP_NEG_BUILTIN, builtin, pattern_srcs, value_of)
+
+
+def ground_program_streamed(
+    prepared: PreparedGrounding,
+    db: SetDatabase,
+    pool: InternPool,
+    sink: StreamingHorn | None = None,
+    stats: GroundingStats | None = None,
+    demand=None,
+    relevant: frozenset[str] | None = None,
+) -> StreamingHorn:
+    """Stream demand-pruned ground instances into an online LTUR.
+
+    The push-based production form of Theorem 4.4: ground rules are
+    emitted as they become *supported* (their driver atom derived) and
+    consumed immediately by ``sink`` (a
+    :class:`~repro.datalog.horn.StreamingHorn`, created on demand), so
+    the full ground program is never materialized.  ``demand`` -- a
+    query predicate name, query :class:`~repro.datalog.ast.Atom`, or
+    iterable of predicate names -- additionally restricts grounding to
+    rules whose heads can reach the demanded predicates
+    (:func:`repro.datalog.magic.demanded_predicates`); the resulting
+    model is exact for the demanded predicates and their relevance
+    cone, and empty elsewhere.
+
+    Returns the sink; the least model is ``sink.flags(len(pool))`` and
+    the residency/pruning counters land in ``stats``.  Callers solving
+    the same program over many structures should resolve the demand
+    once via :func:`resolve_demand` and pass ``relevant=`` instead of
+    re-deriving it per solve.
+    """
+    if pool.interner is not db.interner:
+        raise ValueError(
+            "pool and database must share one interner -- the point of "
+            "the interned pipeline is a single interning context per solve"
+        )
+    sink = sink if sink is not None else StreamingHorn()
+    stats = stats if stats is not None else GroundingStats()
+    if relevant is None:
+        relevant = resolve_demand(prepared.program, demand, prepared.registry)
+
+    base_rules: list[_CompiledStreamRule] = []
+    driven: dict[str, list[_CompiledStreamRule]] = {}
+    for rule, plan in zip(prepared.program.rules, prepared.stream_plans):
+        if relevant is not None and rule.head.predicate not in relevant:
+            stats.rules_pruned += 1
+            continue
+        compiled = _compile_stream_rule(
+            plan, db, pool, prepared.registry, sink, stats
+        )
+        if compiled is None:
+            stats.rules_pruned += 1
+            continue
+        if plan.driver is None:
+            base_rules.append(compiled)
+        else:
+            driven.setdefault(plan.driver.atom.predicate, []).append(
+                compiled
+            )
+
+    for compiled in base_rules:
+        compiled.fire_base()
+    atom_of = pool.atom_of
+    take_fresh = sink.take_fresh
+    get_driven = driven.get
+    while True:
+        fresh = take_fresh()
+        if not fresh:
+            break
+        for fresh_id in fresh:
+            predicate, args = atom_of(fresh_id)
+            rules = get_driven(predicate)
+            if rules is not None:
+                for compiled in rules:
+                    compiled.fire(args)
+    for rules in driven.values():
+        for compiled in rules:
+            if not compiled.invoked:
+                stats.rules_pruned += 1
+    stats.peak_live_rules = max(
+        stats.peak_live_rules, sink.peak_live_rules
+    )
+    return sink
+
+
+def resolve_demand(program, demand, registry=None):
+    """Normalize a demand spec (query predicate name, query atom, or an
+    iterable of either) into the relevant-predicate set, or ``None``
+    for no pruning.  Per-program work -- resolve once and reuse across
+    structures."""
+    if demand is None:
+        return None
+    from .magic import demanded_predicates
+
+    if isinstance(demand, (str, Atom)):
+        return demanded_predicates(program, demand, registry)
+    relevant: set[str] = set()
+    for query in demand:
+        relevant |= demanded_predicates(program, query, registry)
+    return frozenset(relevant)
 
 
 def evaluate_via_grounding(

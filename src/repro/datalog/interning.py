@@ -184,6 +184,28 @@ class InternPool:
         value_of = self.interner.value_of
         return Fact(predicate, tuple(value_of(i) for i in args))
 
+    def unary_arg_ids(self, predicate: str, flags) -> list[int]:
+        """The argument ids ``x`` with ``predicate(x)`` flagged true.
+
+        ``flags`` is a 0/1 array indexed by atom id (the Horn model
+        shape); the scan stays entirely in id space, so callers decode
+        only the answers they asked for.  Raises :class:`ValueError`
+        if a flagged fact of ``predicate`` is not unary -- silently
+        truncating it would mask a compiler or program bug.
+        """
+        out: list[int] = []
+        for atom_id, (pred, args) in enumerate(self._atoms):
+            if pred != predicate or not flags[atom_id]:
+                continue
+            if len(args) != 1:
+                raise ValueError(
+                    f"unary_arg_ids({predicate!r}): fact "
+                    f"{self.decode_atom(atom_id)} has arity "
+                    f"{len(args)}, not 1"
+                )
+            out.append(args[0])
+        return out
+
 
 # ----------------------------------------------------------------------
 # Bitset helpers.  A "bitset" is a plain Python int: bit i set <=> the

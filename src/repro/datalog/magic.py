@@ -51,6 +51,7 @@ __all__ = [
     "MagicStats",
     "adorned_base",
     "adorned_name",
+    "demanded_predicates",
     "is_magic_predicate",
     "magic_name",
     "magic_rewrite",
@@ -166,6 +167,39 @@ def _total_predicates(program: Program, idb: frozenset[str]) -> frozenset[str]:
         closed.add(p)
         stack.extend(depends[p] - closed)
     return frozenset(closed)
+
+
+def demanded_predicates(
+    program: Program,
+    query: "Atom | str",
+    registry: BuiltinRegistry | None = None,
+) -> frozenset[str]:
+    """The intensional predicates whose extent the query can observe.
+
+    Runs the adorned demand traversal of :func:`magic_rewrite` and
+    reports which *base* predicates it touched (rewritten occurrences
+    plus the unrewritten totals cone).  A rule whose head predicate is
+    outside this set can never contribute to the query's answers, so
+    demand-pruned grounding
+    (:func:`repro.datalog.grounding.ground_program_streamed`) skips it
+    without instantiating a single guard binding -- magic-style
+    relevance applied at grounding time rather than by rewriting the
+    program.
+
+    A query predicate that no rule defines demands nothing: the result
+    is empty (the query's extent is empty whatever the database says).
+    """
+    if isinstance(query, str) and not any(
+        rule.head.predicate == query for rule in program.rules
+    ):
+        return frozenset()
+    rewrite = magic_rewrite(program, query, registry)
+    demanded = {
+        adorned_base(rule.head.predicate)
+        for rule in rewrite.program.rules
+        if not is_magic_predicate(rule.head.predicate)
+    }
+    return frozenset(demanded)
 
 
 def magic_rewrite(

@@ -106,6 +106,11 @@ class SetDatabase:
         decoding then copy sets at C speed with no per-tuple
         translation.
         """
+        if isinstance(edb, SetDatabase):
+            # already interned: snapshot instead of re-interning (the
+            # cross-backend compare fast path -- load the structure
+            # once, hand each backend a cheap copy)
+            return edb.snapshot()
         if isinstance(edb, Structure):
             relations = {
                 name: edb.relation(name) for name in edb.signature
@@ -152,6 +157,24 @@ class SetDatabase:
         """An empty database sharing this one's interner (the per-round
         delta of the semi-naive loop)."""
         return SetDatabase(self.interner)
+
+    def snapshot(self) -> "SetDatabase":
+        """A mutation-isolated copy sharing this one's interner.
+
+        Fact sets and bitsets are copied at C speed (no per-tuple
+        work); indexes are rebuilt lazily on the copy.  Sharing the
+        interner is safe because it is append-only -- an evaluation
+        that interns fresh builtin outputs on the snapshot extends the
+        shared id space without disturbing existing ids.  This is what
+        lets a benchmark compare run intern an EDB *once* and hand
+        every backend its own evaluation copy.
+        """
+        copy = SetDatabase(self.interner)
+        copy._facts = {
+            predicate: set(rel) for predicate, rel in self._facts.items()
+        }
+        copy._bits = dict(self._bits)
+        return copy
 
     def add_new(self, predicate: str, args: tuple[int, ...]) -> None:
         """Insert a fact the caller guarantees is absent (the delta

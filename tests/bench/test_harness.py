@@ -50,16 +50,31 @@ def _bench_module():
     return module
 
 
+def _runs(streamed_ms, eager_ms, raw_ms, pruned=100):
+    return {
+        "quasi-guarded": {
+            "ms": streamed_ms,
+            "rules_pruned": pruned,
+            "peak_live_rules": 10,
+        },
+        "quasi-guarded-eager": {"ms": eager_ms},
+        "quasi-guarded-raw": {"ms": raw_ms},
+    }
+
+
 class TestEngineBaseline:
     """The checked-in BENCH_engine.json baseline and the CI gate logic
-    around its new quasi-guarded solver entries."""
+    around its quasi-guarded solver entries (schema v3: streamed vs
+    eager vs raw, plus the solve_many shard record)."""
 
     @pytest.fixture(scope="class")
     def payload(self):
         return json.loads((REPO_ROOT / "BENCH_engine.json").read_text())
 
     def test_schema_version(self, payload):
-        assert payload["schema"] == "bench-engine/v2"
+        bench = _bench_module()
+        assert payload["schema"] == "bench-engine/v3"
+        assert payload["schema"] == bench.SCHEMA_VERSION
         assert payload["benchmark"] == "benchmarks/bench_datalog_engine.py"
 
     def test_engine_workloads_shape(self, payload):
@@ -74,65 +89,158 @@ class TestEngineBaseline:
         assert any(n.startswith("solve-chain-") for n in solver)
         assert any(n.startswith("solve-tree-") for n in solver)
         for name, backends in solver.items():
-            assert set(backends) == {"quasi-guarded", "quasi-guarded-raw"}
+            assert set(backends) == {
+                "quasi-guarded",
+                "quasi-guarded-eager",
+                "quasi-guarded-raw",
+            }
             for run in backends.values():
                 assert run["ms"] > 0, name
                 assert run["answers"] > 0, name
                 assert run["ground_rules"] > 0, name
-            # the two pipelines agreed when the baseline was written
+            # the three pipelines agreed when the baseline was written
+            streamed = backends["quasi-guarded"]
+            eager = backends["quasi-guarded-eager"]
+            raw = backends["quasi-guarded-raw"]
             assert (
-                backends["quasi-guarded"]["answers"]
-                == backends["quasi-guarded-raw"]["answers"]
+                streamed["answers"] == eager["answers"] == raw["answers"]
             ), name
-            assert (
-                backends["quasi-guarded"]["ground_rules"]
-                == backends["quasi-guarded-raw"]["ground_rules"]
-            ), name
+            # eager and raw materialize the same ground program; the
+            # streamed emitter instantiates at most that many rules
+            assert eager["ground_rules"] == raw["ground_rules"], name
+            assert streamed["ground_rules"] <= eager["ground_rules"], name
+            assert streamed["rules_pruned"] > 0, name
+            assert streamed["peak_live_rules"] >= 0, name
 
-    def test_recorded_grid_speedup_meets_the_gate(self, payload):
-        grids = [
+    def test_recorded_speedups_meet_the_gates(self, payload):
+        chains_and_trees = [
             n
             for n in payload["solver_speedups"]
-            if n.startswith("solve-grid-")
+            if n.startswith(("solve-chain-", "solve-tree-"))
         ]
-        assert grids
-        for name in grids:
+        assert chains_and_trees
+        for name in chains_and_trees:
+            # streamed >= 2x over the eager materializing ablation
             assert payload["solver_speedups"][name] >= 2, name
 
-    def test_solver_contract_gate_fires_below_2x_on_grid(self):
+    def test_solve_many_record(self, payload):
+        record = payload["solve_many"]
+        assert record["identical"] is True
+        assert record["batch_size"] > 1
+        assert record["workers"] >= 2
+        assert record["ms_workers_1"] > 0
+
+    def test_solver_contract_gate_fires_below_2x_on_chain(self):
         bench = _bench_module()
-        runs = {
-            "quasi-guarded": {"ms": 10.0},
-            "quasi-guarded-raw": {"ms": 15.0},
-        }
-        failures = bench.check_solver_contracts("solve-grid-8", runs)
+        failures = bench.check_solver_contracts(
+            "solve-chain-120", _runs(10.0, 15.0, 30.0)
+        )
         assert any("2x" in f for f in failures)
 
-    def test_solver_contract_gate_passes_at_2x_on_grid(self):
+    def test_solver_contract_gate_passes_at_2x(self):
         bench = _bench_module()
-        runs = {
-            "quasi-guarded": {"ms": 5.0},
-            "quasi-guarded-raw": {"ms": 15.0},
-        }
-        assert bench.check_solver_contracts("solve-grid-8", runs) == []
+        assert (
+            bench.check_solver_contracts(
+                "solve-chain-120", _runs(5.0, 15.0, 30.0)
+            )
+            == []
+        )
 
-    def test_solver_contract_gate_rejects_interned_slower_anywhere(self):
+    def test_solver_contract_gate_rejects_streamed_slower_than_raw(self):
         bench = _bench_module()
-        runs = {
-            "quasi-guarded": {"ms": 20.0},
-            "quasi-guarded-raw": {"ms": 15.0},
-        }
-        failures = bench.check_solver_contracts("solve-chain-120", runs)
+        failures = bench.check_solver_contracts(
+            "solve-grid-8", _runs(40.0, 15.0, 30.0)
+        )
         assert any("slower" in f for f in failures)
 
+    def test_solver_contract_gate_requires_pruning(self):
+        bench = _bench_module()
+        failures = bench.check_solver_contracts(
+            "solve-tree-100", _runs(5.0, 15.0, 30.0, pruned=0)
+        )
+        assert any("pruned no rules" in f for f in failures)
+
+    def test_solver_contract_gate_keeps_eager_vs_raw_on_grid(self):
+        bench = _bench_module()
+        failures = bench.check_solver_contracts(
+            "solve-grid-8", _runs(5.0, 20.0, 30.0)
+        )
+        assert any("2x" in f for f in failures)
+
     def test_quick_run_exercises_the_solver_gate(self):
-        """The CI --quick invocation must include a grid solver
-        workload, so the 2x gate is actually exercised."""
+        """The CI --quick invocation must include all three workload
+        families, so every gate is actually exercised."""
         bench = _bench_module()
         names = [w[0] for w in bench.solver_workloads(quick=True)]
         assert any(n.startswith("solve-grid-") for n in names)
         assert any(n.startswith("solve-chain-") for n in names)
         assert any(n.startswith("solve-tree-") for n in names)
+
+
+class TestBaselineDrift:
+    """The schema/shape drift gate between the harness and the
+    checked-in BENCH_engine.json."""
+
+    @staticmethod
+    def _payload(schema="bench-engine/v3", quick=True):
+        return {
+            "schema": schema,
+            "quick": quick,
+            "workloads": {"chain-100": {}},
+            "solver_workloads": {
+                "solve-chain-120": {
+                    "quasi-guarded": {},
+                    "quasi-guarded-eager": {},
+                    "quasi-guarded-raw": {},
+                }
+            },
+        }
+
+    def test_no_previous_baseline_is_fine(self):
+        bench = _bench_module()
+        assert bench.check_baseline_drift(None, self._payload()) == []
+
+    def test_identical_shapes_pass(self):
+        bench = _bench_module()
+        assert (
+            bench.check_baseline_drift(self._payload(), self._payload())
+            == []
+        )
+
+    def test_schema_mismatch_fails(self):
+        bench = _bench_module()
+        failures = bench.check_baseline_drift(
+            self._payload(schema="bench-engine/v2"), self._payload()
+        )
+        assert any("schema" in f for f in failures)
+
+    def test_workload_set_change_fails_same_quickness(self):
+        bench = _bench_module()
+        old = self._payload()
+        old["workloads"] = {"chain-999": {}}
+        failures = bench.check_baseline_drift(old, self._payload())
+        assert any("workloads" in f for f in failures)
+
+    def test_workload_set_change_tolerated_across_quickness(self):
+        bench = _bench_module()
+        old = self._payload(quick=False)
+        old["workloads"] = {"chain-800": {}}
+        old["solver_workloads"] = {}
+        assert bench.check_baseline_drift(old, self._payload()) == []
+
+    def test_solver_backend_set_change_fails(self):
+        bench = _bench_module()
+        old = self._payload()
+        old["solver_workloads"]["solve-chain-120"] = {"quasi-guarded": {}}
+        failures = bench.check_baseline_drift(old, self._payload())
+        assert any("backends" in f for f in failures)
+
+    def test_checked_in_baseline_matches_harness_schema(self):
+        bench = _bench_module()
+        checked_in = json.loads(
+            (REPO_ROOT / "BENCH_engine.json").read_text()
+        )
+        assert checked_in["schema"] == bench.SCHEMA_VERSION
 
 
 class TestLinearFit:

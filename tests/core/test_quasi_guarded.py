@@ -62,14 +62,55 @@ class TestEvaluator:
         assert result.unary_answers("t") == frozenset({"n0", "n1", "n2"})
         assert result.ground_rules == 4
 
-    def test_raw_ablation_matches_interned(self):
-        interned = QuasiGuardedEvaluator(PROG, bag_arity=3)
-        raw = QuasiGuardedEvaluator(PROG, bag_arity=3, interned=False)
-        a = interned.evaluate(tree_db())
-        b = raw.evaluate(tree_db())
-        assert a.facts == b.facts
-        assert a.ground_rules == b.ground_rules
-        assert a.unary_answers("t") == b.unary_answers("t")
+    def test_all_three_modes_agree(self):
+        results = {
+            mode: QuasiGuardedEvaluator(
+                PROG, bag_arity=3, mode=mode
+            ).evaluate(tree_db())
+            for mode in ("streamed", "eager", "raw")
+        }
+        reference = results["eager"]
+        for mode, result in results.items():
+            assert result.facts == reference.facts, mode
+            assert result.unary_answers("t") == reference.unary_answers(
+                "t"
+            ), mode
+        # eager and raw materialize the same ground program; on this
+        # fully-live program the streamed emitter matches it too
+        assert (
+            results["eager"].ground_rules == results["raw"].ground_rules
+        )
+        assert results["streamed"].ground_rules <= (
+            results["eager"].ground_rules
+        )
+
+    def test_default_mode_is_streamed_and_legacy_flag_maps_to_raw(self):
+        assert QuasiGuardedEvaluator(PROG, bag_arity=3).mode == "streamed"
+        assert (
+            QuasiGuardedEvaluator(PROG, bag_arity=3, interned=False).mode
+            == "raw"
+        )
+        with pytest.raises(ValueError, match="contradicts"):
+            QuasiGuardedEvaluator(
+                PROG, bag_arity=3, mode="streamed", interned=False
+            )
+        with pytest.raises(ValueError, match="unknown mode"):
+            QuasiGuardedEvaluator(PROG, bag_arity=3, mode="batched")
+
+    def test_demand_requires_streamed_mode(self):
+        with pytest.raises(ValueError, match="streamed"):
+            QuasiGuardedEvaluator(
+                PROG, bag_arity=3, mode="eager", demand="ok"
+            )
+
+    def test_demand_pruned_solve_is_exact_on_the_demanded_cone(self):
+        demanded = QuasiGuardedEvaluator(
+            PROG, bag_arity=3, demand="ok"
+        ).evaluate(tree_db())
+        full = QuasiGuardedEvaluator(PROG, bag_arity=3).evaluate(tree_db())
+        assert demanded.holds("ok")
+        assert demanded.unary_answers("t") == full.unary_answers("t")
+        assert demanded.stats is not None
 
     def test_facts_decode_lazily_and_cache(self):
         evaluator = QuasiGuardedEvaluator(PROG, bag_arity=3)

@@ -57,16 +57,21 @@ class TestThreeColoringInstances:
                 structure_filter=undirected_graph_filter,
                 backend=backend,
             )
-            for backend in ("quasi-guarded", "quasi-guarded-raw")
+            for backend in (
+                "quasi-guarded",
+                "quasi-guarded-eager",
+                "quasi-guarded-raw",
+            )
         }
         rng = random.Random(0x3C01)
         for _ in range(4):
             graph, td = random_partial_ktree(rng, rng.randint(3, 9), 1)
             s = graph_to_structure(graph)
-            interned = solvers["quasi-guarded"].query(s, td)
+            streamed = solvers["quasi-guarded"].query(s, td)
+            eager = solvers["quasi-guarded-eager"].query(s, td)
             raw = solvers["quasi-guarded-raw"].query(s, td)
-            assert interned == raw
-            assert interned == direct_query(s, formula, "x")
+            assert streamed == eager == raw
+            assert streamed == direct_query(s, formula, "x")
 
 
 class TestPrimalityInstances:

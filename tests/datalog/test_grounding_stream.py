@@ -1,0 +1,221 @@
+"""Tests for the streamed, demand-pruned grounding pipeline.
+
+The push-based emitter (:func:`ground_program_streamed`) must derive
+exactly the eager pipeline's least model while never materializing the
+full ground program, and its pruning counters must account for the
+three prune classes: irrelevant heads (magic-style demand), statically
+dead extensional literals, and driver-starved rules.
+"""
+
+import pytest
+
+from repro.datalog import (
+    Database,
+    GroundingStats,
+    InternPool,
+    SetDatabase,
+    StreamingHorn,
+    demanded_predicates,
+    ground_program_ids,
+    ground_program_streamed,
+    horn_least_model_ids,
+    parse_program,
+    prepare_grounding,
+)
+from repro.datalog.grounding import resolve_demand
+
+
+def tree_db():
+    db = Database()
+    db.add("root", ("n0",))
+    db.add("leaf", ("n2",))
+    db.add("child1", ("n1", "n0"))
+    db.add("child1", ("n2", "n1"))
+    db.add("bag", ("n0", "a", "b"))
+    db.add("bag", ("n1", "b", "c"))
+    db.add("bag", ("n2", "c", "d"))
+    db.add("e", ("c", "d"))
+    return db
+
+
+PROG = parse_program(
+    """
+    t(V) :- bag(V, X0, X1), leaf(V), e(X0, X1).
+    t(V) :- bag(V, X0, X1), child1(V1, V), t(V1).
+    ok :- root(V), t(V).
+    """
+)
+
+
+def _models(program, db, demand=None):
+    """(eager model, streamed model, streamed stats) as fact sets."""
+    prepared = prepare_grounding(program)
+    sdb = SetDatabase.from_edb(db)
+    pool = InternPool(sdb.interner)
+    rules = ground_program_ids(prepared, sdb, pool)
+    flags = horn_least_model_ids(rules, len(pool))
+    eager = {pool.decode_atom(i) for i, f in enumerate(flags) if f}
+
+    sdb2 = SetDatabase.from_edb(db)
+    pool2 = InternPool(sdb2.interner)
+    stats = GroundingStats()
+    sink = ground_program_streamed(
+        prepared, sdb2, pool2, stats=stats, demand=demand
+    )
+    streamed = {
+        pool2.decode_atom(i)
+        for i, f in enumerate(sink.flags(len(pool2)))
+        if f
+    }
+    return eager, streamed, stats
+
+
+class TestStreamedModel:
+    def test_matches_eager_pipeline(self):
+        eager, streamed, stats = _models(PROG, tree_db())
+        assert streamed == eager
+        assert stats.ground_rules == 4  # every instance is live here
+
+    def test_emits_fewer_rules_than_eager_when_rules_are_dead(self):
+        # a recursive rule whose driver never derives: eager grounds
+        # its instances anyway, streamed never instantiates it
+        program = parse_program(
+            """
+            t(V) :- bag(V, X0, X1), leaf(V), e(X0, X1).
+            t(V) :- bag(V, X0, X1), child1(V1, V), t(V1).
+            u(V) :- bag(V, X0, X1), child1(V1, V), w(V1).
+            w(V) :- bag(V, X0, X1), leaf(V), e(X1, X0).
+            ok :- root(V), t(V).
+            """
+        )
+        eager, streamed, stats = _models(program, tree_db())
+        assert streamed == eager  # w/u derive nothing: same model
+        # the u-rule is driver-starved (w never derives: e(d, c) absent)
+        assert stats.rules_pruned >= 1
+
+    def test_statically_dead_edb_literal_prunes_rule(self):
+        program = parse_program(
+            """
+            t(V) :- bag(V, X0, X1), leaf(V), e(X0, X1).
+            t2(V) :- bag(V, X0, X1), child2(V2, V), t(V2).
+            ok :- root(V), t(V).
+            """
+        )
+        # tree_db has no child2 facts at all
+        eager, streamed, stats = _models(program, tree_db())
+        assert streamed == eager
+        assert stats.rules_pruned >= 1
+
+    def test_empty_unary_relation_prunes_statically(self):
+        program = parse_program(
+            """
+            t(V) :- bag(V, X0, X1), leaf(V), e(X0, X1).
+            t2(V) :- bag(V, X0, X1), marked(V), t(V).
+            ok :- root(V), t(V).
+            """
+        )
+        # `marked` is unary and entirely absent: the t2 rule must be
+        # statically dead (bitset 0), never compiled as driven
+        eager, streamed, stats = _models(program, tree_db())
+        assert streamed == eager
+        assert stats.rules_pruned >= 1
+
+    def test_waiting_frontier_counted(self):
+        # an instance that must wait: u(V) derives after t(V) at the
+        # same node, so the both-rule instance parks in the LTUR
+        program = parse_program(
+            """
+            t(V) :- bag(V, X0, X1), leaf(V), e(X0, X1).
+            t(V) :- bag(V, X0, X1), child1(V1, V), t(V1).
+            u(V) :- bag(V, X0, X1), root(V).
+            u(V) :- bag(V, X0, X1), child1(V, V1), u(V1).
+            both(V) :- bag(V, X0, X1), t(V), u(V).
+            ok :- root(V), both(V).
+            """
+        )
+        eager, streamed, stats = _models(program, tree_db())
+        assert streamed == eager
+        assert any(f.predicate == "both" for f in streamed)
+        assert stats.peak_live_rules >= 1
+
+    def test_nullary_driver(self):
+        program = parse_program(
+            """
+            t(V) :- bag(V, X0, X1), leaf(V), e(X0, X1).
+            flag :- root(V), bag(V, X0, X1).
+            done(V) :- bag(V, X0, X1), flag, t(V).
+            """
+        )
+        eager, streamed, _ = _models(program, tree_db())
+        assert streamed == eager
+        assert any(f.predicate == "done" for f in streamed)
+
+    def test_interner_mismatch_raises(self):
+        prepared = prepare_grounding(PROG)
+        sdb = SetDatabase.from_edb(tree_db())
+        foreign_pool = InternPool()  # its own interner
+        with pytest.raises(ValueError, match="share one interner"):
+            ground_program_streamed(prepared, sdb, foreign_pool)
+
+    def test_reuses_caller_sink(self):
+        prepared = prepare_grounding(PROG)
+        sdb = SetDatabase.from_edb(tree_db())
+        pool = InternPool(sdb.interner)
+        sink = StreamingHorn()
+        returned = ground_program_streamed(prepared, sdb, pool, sink=sink)
+        assert returned is sink
+        assert sink.derived_count == 4  # t(n0..n2) + ok
+
+
+class TestDemandPruning:
+    def test_demand_on_root_prediate_keeps_everything(self):
+        eager, streamed, stats = _models(PROG, tree_db(), demand="ok")
+        assert streamed == eager
+        assert stats.rules_pruned == 0
+
+    def test_demand_on_t_prunes_the_ok_rule(self):
+        eager, streamed, stats = _models(PROG, tree_db(), demand="t")
+        assert stats.rules_pruned == 1  # the ok-rule head is irrelevant
+        assert streamed == {f for f in eager if f.predicate == "t"}
+
+    def test_demanded_predicates_cover_the_relevance_cone(self):
+        assert demanded_predicates(PROG, "ok") == {"ok", "t"}
+        assert demanded_predicates(PROG, "t") == {"t"}
+
+    def test_demand_for_undefined_predicate_prunes_everything(self):
+        assert demanded_predicates(PROG, "nothing") == frozenset()
+        eager, streamed, stats = _models(PROG, tree_db(), demand="nothing")
+        assert streamed == set()
+        assert stats.rules_pruned == len(PROG.rules)
+
+    def test_resolve_demand_normalizes(self):
+        assert resolve_demand(PROG, None) is None
+        assert resolve_demand(PROG, "t") == {"t"}
+        assert resolve_demand(PROG, ["t", "ok"]) == {"t", "ok"}
+
+
+class TestStreamPlans:
+    def test_prepared_grounding_carries_stream_plans(self):
+        prepared = prepare_grounding(PROG)
+        assert len(prepared.stream_plans) == len(PROG.rules)
+        by_head = {
+            plan.rule.head.predicate: plan
+            for plan in prepared.stream_plans
+        }
+        # the leaf rule has no intensional body literal: base rule
+        assert by_head["ok"].driver is not None
+        assert by_head["ok"].driver.atom.predicate == "t"
+        leaf_plan = prepared.stream_plans[0]
+        assert leaf_plan.driver is None
+
+    def test_negated_intensional_literal_rejected(self):
+        from repro.datalog import NotGroundableError
+
+        bad = parse_program(
+            """
+            t(V) :- bag(V, X0, X1), leaf(V).
+            u(V) :- bag(V, X0, X1), not t(V).
+            """
+        )
+        with pytest.raises(NotGroundableError):
+            prepare_grounding(bad)
