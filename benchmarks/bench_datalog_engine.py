@@ -32,8 +32,17 @@ PR 3 path), and the raw-value PR 2 pipeline (``quasi-guarded-raw``):
 
 * ``solve-chain-N`` / ``solve-tree-N`` -- the compiled Theorem 4.5
   ``has_neighbor`` MSO program, evaluated over the ``A_td`` encoding
-  of a path graph / random tree (width 1, the generic compiler's
-  practical envelope);
+  of a path graph / random tree (width 1);
+* ``solve-grid2x-N`` -- the *width-2* grid family: a 2 x N ladder
+  grid solved through the real Theorem 4.5 path (``has_neighbor``
+  compiled at width 2 relative to the grid class --
+  ``grid_graph_filter``).  Runs the streamed production form only
+  (the minimized program still has ~20k rules, ~96% of which demand
+  pruning discards per structure; the eager/raw ablations ground the
+  full cross product -- 1.4M ground rules at N=40 -- and are
+  benchmarked on the width-1 workloads instead).  Gated on exact
+  agreement with *direct MSO evaluation* and with the hand-written
+  cover DP over the same ``A_td`` encoding;
 * ``solve-grid-K`` -- a K x K grid is decomposed at its natural width
   (≈ K, far outside the compiler's envelope), and a Figure-style
   quasi-guarded dynamic program over its wide-bag ``A_td`` encoding
@@ -63,11 +72,15 @@ Two entry points:
      ``semi-naive-tuple`` -- and at chain >= 800 (the default full
      run) it must be >= 3x faster;
   4. on the largest chain, magic is >= 2x faster than full semi-naive;
-  5. all three quasi-guarded forms derive identical unary answers on
-     every solver workload; the streamed form prunes rules
-     (``rules_pruned > 0``) on the chain and tree solves and is
-     >= 2x faster than the eager ablation there; the eager interned
-     form stays >= 2x faster than the raw ablation on the grid solve;
+  5. all quasi-guarded forms run on a workload derive identical unary
+     answers; the streamed form prunes rules (``rules_pruned > 0``)
+     on the chain, tree and grid2x solves, is >= 2x faster than the
+     eager ablation on the tree solve and >= 1.3x on the chain solve
+     (the Theorem 4.5 programs are minimized since PR 5, so eager's
+     dead weight -- and the streamed form's headroom -- shrank); the
+     eager interned form stays >= 2x faster than the raw ablation on
+     the grid cover DP; the grid2x answers equal direct MSO
+     evaluation and the hand-written cover DP on the same encoding;
   6. ``solve_many`` returns identical (canonically serialized)
      results for 1 worker and N workers;
   7. the checked-in ``BENCH_engine.json`` must match the harness's
@@ -391,17 +404,28 @@ def graph_grid(k):
 
 
 def solver_workloads(quick):
-    """(name, program, dependencies, encoded A_td, answer predicate,
-    expected answer count) -- encoding and MSO compilation happen here,
+    """Workload dicts -- encoding and MSO compilation happen here,
     outside the timed region, so the timings isolate the grounding +
-    Horn pipeline the backends differ on."""
+    Horn pipeline the backends differ on.
+
+    Keys: ``name``, ``program``, ``dependencies``, ``encoded`` (the
+    ``A_td``), ``answer_predicate``, ``expected`` (answer count),
+    ``backends`` (the quasi-guarded forms to run), and optionally
+    ``reference`` -- the exact answer set from *direct MSO
+    evaluation*, cross-checked against the hand-written cover DP on
+    the same encoding for the grid2x workload (the Theorem 4.5
+    conformance contract of the width-2 envelope).
+    """
     from repro.bench import atd_cover_program
     from repro.core import (
         ANSWER_PREDICATE,
+        QuasiGuardedEvaluator,
         compile_unary_query,
+        grid_graph_filter,
         undirected_graph_filter,
     )
     from repro.mso import formulas
+    from repro.mso import query as mso_query
     from repro.problems import random_tree_graph
     from repro.structures import GRAPH_SIGNATURE, Graph, graph_to_structure
     from repro.treewidth import (
@@ -416,9 +440,11 @@ def solver_workloads(quick):
         td = decompose_structure(s)
         if min_width is not None and td.width < min_width:
             td = widen(td, min_width)
-        return encode_normalized(s, normalize(td)), td.width
+        return s, encode_normalized(s, normalize(td)), td.width
 
-    chain_n, tree_n, grid_k = (120, 100, 8) if quick else (400, 300, 12)
+    chain_n, tree_n, grid_k, ladder_n = (
+        (120, 100, 8, 20) if quick else (400, 300, 12, 40)
+    )
     compiled = compile_unary_query(
         formulas.has_neighbor("x"),
         GRAPH_SIGNATURE,
@@ -435,27 +461,66 @@ def solver_workloads(quick):
             tree_n,
         ),
     ):
-        encoded, _ = encode(graph, min_width=1)
+        _, encoded, _ = encode(graph, min_width=1)
         out.append(
-            (
-                name,
-                compiled.program,
-                compiled.dependencies(),
-                encoded,
-                ANSWER_PREDICATE,
-                n,
-            )
+            {
+                "name": name,
+                "program": compiled.program,
+                "dependencies": compiled.dependencies(),
+                "encoded": encoded,
+                "answer_predicate": ANSWER_PREDICATE,
+                "expected": n,
+                "backends": SOLVER_BACKENDS,
+            }
         )
-    encoded, width = encode(graph_grid(grid_k))
+
+    # the width-2 grid family through the real Theorem 4.5 path
+    # (ROADMAP (d)): compile at width 2 relative to the grid class,
+    # solve a ladder, and pin the answers to direct MSO evaluation and
+    # to the hand-written cover DP over the same A_td encoding
+    compiled2 = compile_unary_query(
+        formulas.has_neighbor("x"),
+        GRAPH_SIGNATURE,
+        width=2,
+        free_var="x",
+        structure_filter=grid_graph_filter,
+    )
+    structure, encoded, width = encode(Graph.grid(2, ladder_n), min_width=2)
+    reference = mso_query(structure, formulas.has_neighbor("x"), "x")
+    dp = QuasiGuardedEvaluator(
+        atd_cover_program(width + 2),
+        dependencies=td_key_dependencies(width + 2),
+    )
+    dp_answers = dp.evaluate(encoded).unary_answers("covered")
     out.append(
-        (
-            f"solve-grid-{grid_k}",
-            atd_cover_program(width + 2),
-            td_key_dependencies(width + 2),
-            encoded,
-            "covered",
-            grid_k * grid_k,
-        )
+        {
+            "name": f"solve-grid2x-{ladder_n}",
+            "program": compiled2.program,
+            "dependencies": compiled2.dependencies(),
+            "encoded": encoded,
+            "answer_predicate": ANSWER_PREDICATE,
+            "expected": 2 * ladder_n,
+            # streamed only: the eager/raw forms ground the full
+            # program x structure cross product (1.4M ground rules at
+            # N=40) -- demand pruning is precisely what makes the
+            # width-2 compiled program practical
+            "backends": ["quasi-guarded"],
+            "reference": reference,
+            "dp_answers": dp_answers,
+        }
+    )
+
+    _, encoded, width = encode(graph_grid(grid_k))
+    out.append(
+        {
+            "name": f"solve-grid-{grid_k}",
+            "program": atd_cover_program(width + 2),
+            "dependencies": td_key_dependencies(width + 2),
+            "encoded": encoded,
+            "answer_predicate": "covered",
+            "expected": grid_k * grid_k,
+            "backends": SOLVER_BACKENDS,
+        }
     )
     return out
 
@@ -474,16 +539,17 @@ def run_solver_comparison(quick, repeat=3):
     rows = []
     results = {}
     failures = []
-    for name, program, deps, encoded, answer_pred, expected in (
-        solver_workloads(quick)
-    ):
+    for workload in solver_workloads(quick):
+        name = workload["name"]
+        encoded = workload["encoded"]
+        answer_pred = workload["answer_predicate"]
         answers = {}
         runs = {}
-        for backend in SOLVER_BACKENDS:
+        for backend in workload["backends"]:
             mode = SOLVER_MODES[backend]
             evaluator = QuasiGuardedEvaluator(
-                program,
-                dependencies=deps,
+                workload["program"],
+                dependencies=workload["dependencies"],
                 mode=mode,
                 demand=answer_pred if mode == "streamed" else None,
             )
@@ -507,7 +573,7 @@ def run_solver_comparison(quick, repeat=3):
                 )
         results[name] = runs
         streamed_run = runs["quasi-guarded"]
-        for backend in SOLVER_BACKENDS:
+        for backend in workload["backends"]:
             run = runs[backend]
             speedup = (
                 run["ms"] / streamed_run["ms"]
@@ -526,17 +592,35 @@ def run_solver_comparison(quick, repeat=3):
                 ]
             )
         reference = answers["quasi-guarded"]
-        for backend in SOLVER_BACKENDS[1:]:
+        for backend in workload["backends"]:
             if answers[backend] != reference:
                 failures.append(
                     f"{name}: {backend} disagrees with the streamed "
                     f"pipeline ({len(answers[backend])} vs "
                     f"{len(reference)} answers)"
                 )
-        if len(reference) != expected:
+        if len(reference) != workload["expected"]:
             failures.append(
-                f"{name}: expected {expected} answers, got "
+                f"{name}: expected {workload['expected']} answers, got "
                 f"{len(reference)}"
+            )
+        # conformance pins (the grid2x workload): the compiled width-2
+        # program must agree exactly with direct MSO evaluation and
+        # with the hand-written cover DP over the same encoding
+        if "reference" in workload and reference != workload["reference"]:
+            failures.append(
+                f"{name}: compiled answers disagree with direct MSO "
+                f"evaluation ({len(reference)} vs "
+                f"{len(workload['reference'])} answers)"
+            )
+        if (
+            "dp_answers" in workload
+            and reference != workload["dp_answers"]
+        ):
+            failures.append(
+                f"{name}: compiled answers disagree with the "
+                f"hand-written cover DP ({len(reference)} vs "
+                f"{len(workload['dp_answers'])} answers)"
             )
         failures.extend(check_solver_contracts(name, runs))
     return rows, results, failures
@@ -547,30 +631,42 @@ def check_solver_contracts(name, runs):
     test-suite can exercise the gate logic on synthetic timings.
 
     The streamed form must dominate on the compiled-MSO chain/tree
-    solves, where most of the eager ground program is dead weight
-    (98%+ of its rules never fire).  The grid cover DP is the
-    counter-case the eager ablation is retained for: its ground
-    program is fully live, so batch materialization has nothing to
-    prune and lower constants -- there the streamed form only has to
-    beat the raw-value pipeline, and the eager-vs-raw interning gate
-    of schema v2 still applies.
+    solves, where most of the eager ground program is dead weight.
+    Since the Theorem 4.5 compiler minimizes its type table (PR 5) the
+    compiled programs -- and eager's dead weight -- are much smaller,
+    so the chain gate is 1.3x where it used to be 2x (the tree solve
+    still clears 2x).  The grid cover DP is the counter-case the
+    eager ablation is retained for: its ground program is fully live,
+    so batch materialization has nothing to prune -- per-round driver
+    batching (ROADMAP (f)) closed most of the per-event overhead
+    (streamed went from 0.49x to ~0.75x of eager there), but there
+    the streamed form still only has to beat the raw-value pipeline,
+    and the eager-vs-raw interning gate of schema v2 still applies.
+    The grid2x workload (width-2 Theorem 4.5 path) runs the streamed
+    form only; its gate is pruning engagement -- the answer
+    conformance pins live in ``run_solver_comparison``.
     """
     failures = []
     streamed = runs["quasi-guarded"]
-    eager = runs["quasi-guarded-eager"]
-    raw = runs["quasi-guarded-raw"]
+    eager = runs.get("quasi-guarded-eager")
+    raw = runs.get("quasi-guarded-raw")
     chain_or_tree = name.startswith(("solve-chain-", "solve-tree-"))
-    if streamed["ms"] > raw["ms"]:
+    if raw is not None and streamed["ms"] > raw["ms"]:
         failures.append(
             f"{name}: streamed quasi-guarded ({streamed['ms']:.1f}ms) "
             f"is slower than the raw ablation ({raw['ms']:.1f}ms)"
         )
-    if chain_or_tree and streamed["ms"] * 2 > eager["ms"]:
-        failures.append(
-            f"{name}: streamed {streamed['ms']:.1f}ms vs eager "
-            f"{eager['ms']:.1f}ms -- less than the required 2x speedup"
-        )
-    if chain_or_tree and streamed.get("rules_pruned", 0) <= 0:
+    if chain_or_tree:
+        required = 2.0 if name.startswith("solve-tree-") else 1.3
+        if streamed["ms"] * required > eager["ms"]:
+            failures.append(
+                f"{name}: streamed {streamed['ms']:.1f}ms vs eager "
+                f"{eager['ms']:.1f}ms -- less than the required "
+                f"{required:g}x speedup"
+            )
+    if (
+        chain_or_tree or name.startswith("solve-grid2x-")
+    ) and streamed.get("rules_pruned", 0) <= 0:
         failures.append(
             f"{name}: streamed grounding pruned no rules -- demand "
             "pruning is not engaging"
@@ -732,7 +828,9 @@ def build_payload(results, solver_results, solve_many_results, quick):
             if backends.get("semi-naive", {}).get("ms")
         },
         "solver_program": (
-            "Theorem 4.5 has_neighbor (chain/tree); "
+            "Theorem 4.5 has_neighbor, minimized (chain/tree at width 1; "
+            "grid2x ladder at width 2 via grid_graph_filter, streamed "
+            "only, conformance-pinned to direct MSO + cover DP); "
             "A_td cover DP at natural width (grid)"
         ),
         "solver_workloads": solver_results,
@@ -744,6 +842,7 @@ def build_payload(results, solver_results, solve_many_results, quick):
             )
             for name, backends in solver_results.items()
             if backends.get("quasi-guarded", {}).get("ms")
+            and "quasi-guarded-eager" in backends
         },
         "solve_many": solve_many_results,
     }
@@ -828,10 +927,11 @@ def main(argv=None) -> int:
         "strictly fewer facts and is >= 2x faster on the largest chain; "
         "set-at-a-time semi-naive beats tuple-at-a-time; the streamed "
         "quasi-guarded pipeline matches the eager and raw ablations' "
-        "answers, prunes rules, and is >= 2x faster than eager on the "
-        "chain and tree solves; eager stays >= 2x over raw on the grid "
-        "solve; solve_many is worker-count-invariant; the baseline schema "
-        "matches the harness"
+        "answers, prunes rules, and beats eager >= 2x on the tree solve "
+        "and >= 1.3x on the chain solve; the width-2 grid2x solve matches "
+        "direct MSO evaluation and the hand-written cover DP; eager stays "
+        ">= 2x over raw on the grid solve; solve_many is "
+        "worker-count-invariant; the baseline schema matches the harness"
     )
     return 0
 

@@ -4,24 +4,33 @@ from .mso_to_datalog import (
     ANSWER_PREDICATE,
     CompiledQuery,
     CompilerLimitError,
+    CompilerStats,
     MSOToDatalogCompiler,
+    grid_graph_filter,
     compile_sentence,
     compile_unary_query,
     undirected_graph_filter,
 )
 from .quasi_guarded import QuasiGuardedEvaluator, QuasiGuardedResult
 from .solver import CourcelleSolver, default_worker_count
+from .typealg import TypeAlgebra, TypeEntry, TypeTable, reduce_witness
 
 __all__ = [
     "ANSWER_PREDICATE",
     "CompiledQuery",
     "CompilerLimitError",
+    "CompilerStats",
     "CourcelleSolver",
     "MSOToDatalogCompiler",
     "QuasiGuardedEvaluator",
     "QuasiGuardedResult",
+    "TypeAlgebra",
+    "TypeEntry",
+    "TypeTable",
     "compile_sentence",
     "default_worker_count",
+    "grid_graph_filter",
+    "reduce_witness",
     "undirected_graph_filter",
     "compile_unary_query",
 ]

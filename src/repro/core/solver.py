@@ -81,6 +81,7 @@ class CourcelleSolver:
         structure_filter=None,
         backend: str = "quasi-guarded",
         cache: ProgramCache | None = None,
+        minimize: bool = True,
     ):
         self._formula = formula
         self.backend_name = backend
@@ -92,6 +93,7 @@ class CourcelleSolver:
                 width,
                 max_witness_size=max_witness_size,
                 structure_filter=structure_filter,
+                minimize=minimize,
             )
         else:
             self.compiled = compile_unary_query(
@@ -101,6 +103,7 @@ class CourcelleSolver:
                 free_var=free_var,
                 max_witness_size=max_witness_size,
                 structure_filter=structure_filter,
+                minimize=minimize,
             )
         self._wire_backend()
 

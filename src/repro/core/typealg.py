@@ -1,0 +1,301 @@
+"""The interned type algebra behind the Theorem 4.5 compiler.
+
+Lemmas 3.5-3.7 make the rank-k MSO type of an extended decomposition
+step a function of the *types* of its parts (plus the bag data alone):
+nothing in the construction ever needs the witness structures
+themselves except as a device to compute types and to evaluate the
+query on (and both depend only on the type).  This module makes that
+compositional view the compiler's native currency:
+
+* :class:`TypeTable` interns canonical k-types into **dense type ids**
+  (the :class:`~repro.datalog.interning.InternPool` style: consecutive
+  ints, list-indexed decoding), with exactly one canonical witness
+  stored per id;
+* :class:`TypeAlgebra` owns the typing machinery shared by one compile
+  -- a structure-scoped :class:`~repro.mso.types.TypeContext` memo per
+  witness (so re-typing one witness under many bags reuses all shared
+  subproblems) -- and **witness reduction**: shrinking a freshly
+  registered witness to a minimal representative of its type by greedy
+  deletion of non-bag elements with a type re-check after each
+  deletion.
+
+Reduction is what bounds the working set: the old compiler re-glued
+ever-growing witnesses up the induction (witness size grew
+monotonically until it tripped ``max_witness_size``), while every step
+here starts from minimal representatives, so witness size is bounded
+by the minimal-representative closure of the type space instead.
+Soundness is exactly Lemma 3.5/3.6: rule emission consults only the
+type (and the bag EDB, which is part of the rank-0 type), never the
+witness's identity, so any witness of the same type -- in particular
+the reduced one -- yields the same program.  When a
+``structure_filter`` restricts compilation to a class of structures,
+reduction stays inside the class because deletion produces induced
+substructures and the filter's documented soundness condition is
+closure under induced substructures (the filter is still re-checked
+per deletion, so a non-closed filter degrades to less reduction, never
+to an out-of-class witness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from ..mso.types import MSOType, TypeContext
+from ..structures.structure import Element, Structure
+
+
+class CompilerLimitError(RuntimeError):
+    """Witness structures or type tables outgrew the configured bound.
+
+    The construction is exponential; this error is the honest signal
+    that the requested (signature, w, k) combination is out of the
+    practical envelope -- precisely the regime where the paper switches
+    to the hand-crafted Section 5 programs.
+    """
+
+
+@dataclass(frozen=True)
+class TypeEntry:
+    """One interned k-type: dense id, canonical minimal witness, bag EDB.
+
+    Witnesses are stored in *canonical coordinates*: the domain is
+    ``0..n-1`` with the bag at ``(0, ..., w)`` -- so gluing two
+    entries is an integer-offset fact union, no renaming maps needed.
+    ``edb`` is the set of ``(predicate, index-tuple)`` patterns holding
+    on the bag (the rank-0 bag data): two entries can share a branch /
+    selection node iff their ``edb`` agree, which is what lets the
+    compiler bucket glue candidates instead of attempting all pairs.
+    """
+
+    type_id: int
+    structure: Structure
+    bag: tuple[Element, ...]
+    edb: frozenset[tuple[str, tuple[int, ...]]]
+
+
+class TypeTable:
+    """Dense type-id interning with one canonical witness per type.
+
+    Canonical k-types map to consecutive ids ``0, 1, ...`` (decoded by
+    list lookup, exactly like
+    :class:`~repro.datalog.interning.InternPool` atoms), and the entry
+    stores the *reduced* witness registered for the type -- every later
+    step against this type works on that one small representative.
+
+    The Θ↑ and Θ↓ tables of the construction share a single
+    ``TypeTable``: both are the closure of the same base types (all
+    structures over one full bag) under the same three type-level
+    operations (bag permutation, element replacement, bag-glued
+    union), so they contain exactly the same types -- only the datalog
+    rules emitted from the table differ between the two roles.
+    """
+
+    __slots__ = ("max_types", "_ids", "_entries")
+
+    def __init__(self, max_types: int):
+        self.max_types = max_types
+        self._ids: dict[MSOType, int] = {}
+        self._entries: list[TypeEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TypeEntry]:
+        return iter(self._entries)
+
+    def get(self, t: MSOType) -> TypeEntry | None:
+        """The entry interned for ``t``, or ``None``."""
+        found = self._ids.get(t)
+        return None if found is None else self._entries[found]
+
+    def entry_of(self, type_id: int) -> TypeEntry:
+        """Decode a dense id (list lookup)."""
+        return self._entries[type_id]
+
+    def add(
+        self,
+        t: MSOType,
+        structure: Structure,
+        bag: tuple[Element, ...],
+        edb: frozenset[tuple[str, tuple[int, ...]]],
+    ) -> TypeEntry:
+        """Intern ``t`` with its canonical witness; ``t`` must be new."""
+        if t in self._ids:
+            raise ValueError(
+                f"type already interned as id {self._ids[t]}"
+            )
+        if len(self._entries) >= self.max_types:
+            raise CompilerLimitError(
+                f"more than {self.max_types} types; the "
+                "(signature, width, depth) combination is outside the "
+                "practical envelope -- consider a structure_filter"
+            )
+        type_id = len(self._entries)
+        entry = TypeEntry(type_id, structure, bag, edb)
+        self._ids[t] = type_id
+        self._entries.append(entry)
+        return entry
+
+
+@dataclass
+class TypeAlgebraStats:
+    """Counters surfaced in ``BENCH_compiler.json`` and the compiler
+    stats: how hard the type algebra worked and how small reduction
+    kept the working set."""
+
+    type_computations: int = 0
+    #: largest witness ever *typed* (pre-reduction: glued/grown inputs)
+    max_witness_typed: int = 0
+    #: largest witness surviving reduction into a type table
+    max_reduced_witness: int = 0
+    reductions: int = 0
+    elements_deleted: int = 0
+
+
+class TypeAlgebra:
+    """One compile's typing machinery: shared memos, limits, reduction.
+
+    ``k`` is the quantifier depth, ``max_witness_size`` the honest
+    envelope bound (typing a structure past it raises
+    :class:`CompilerLimitError`), ``structure_filter`` the optional
+    class restriction (see the module docstring for why reduction
+    respects it).
+    """
+
+    def __init__(
+        self,
+        k: int,
+        max_witness_size: int,
+        structure_filter: Callable[[Structure], bool] | None = None,
+    ):
+        self.k = k
+        self.max_witness_size = max_witness_size
+        self.structure_filter = structure_filter
+        self.stats = TypeAlgebraStats()
+        #: one TypeContext per witness structure -- the structure-scoped
+        #: memo of :mod:`repro.mso.types`, shared across every typing of
+        #: the same structure (permutation steps re-type one structure
+        #: under all bag orders)
+        self._contexts: dict[Structure, TypeContext] = {}
+
+    def context(self, structure: Structure) -> TypeContext:
+        found = self._contexts.get(structure)
+        if found is None:
+            found = self._contexts[structure] = TypeContext(structure)
+        return found
+
+    def type_of(
+        self,
+        structure: Structure,
+        bag: tuple[Element, ...],
+        transient: bool = False,
+    ) -> MSOType:
+        """The canonical rank-k type of ``(structure, bag)``.
+
+        ``max_witness_size`` bounds the *stored* working set (the
+        reduced witnesses of the type tables; :meth:`reduce` enforces
+        it); a structure handed in here is transient -- at worst the
+        glue of two stored witnesses overlapping on a bag, hence under
+        ``2 * max_witness_size`` -- so that is the honest typing
+        limit.  Exceeding it means growth is outrunning reduction and
+        the combination is genuinely outside the envelope.
+
+        ``transient`` skips the per-structure context memo: a glued
+        structure is typed exactly once (the compiler memoizes the
+        result by the pair of type ids), so storing its context would
+        only leak memory.
+        """
+        size = len(structure.domain)
+        if size > 2 * self.max_witness_size:
+            raise CompilerLimitError(
+                f"transient witness grew to {size} elements "
+                f"(limit {2 * self.max_witness_size} = 2x the "
+                f"max_witness_size bound of {self.max_witness_size}); "
+                "signature/width/depth combination is outside the "
+                "practical envelope of the generic construction"
+            )
+        stats = self.stats
+        stats.type_computations += 1
+        if size > stats.max_witness_typed:
+            stats.max_witness_typed = size
+        if transient:
+            return TypeContext(structure).type_of(bag, self.k)
+        return self.context(structure).type_of(bag, self.k)
+
+    def canonicalize(
+        self, structure: Structure, bag: tuple[Element, ...]
+    ) -> tuple[Structure, tuple[Element, ...]]:
+        """Rename a witness into canonical coordinates: the bag becomes
+        ``(0, ..., w)``, every other element ``w+1, ..., n-1`` in
+        repr-sorted order.  Deterministic, so one type always stores
+        one concrete witness structure -- and gluing two canonical
+        witnesses is a plain integer-offset fact union."""
+        mapping: dict[Element, Element] = {
+            element: i for i, element in enumerate(bag)
+        }
+        fresh = len(bag)
+        for element in sorted(structure.domain - set(bag), key=repr):
+            mapping[element] = fresh
+            fresh += 1
+        return structure.renamed(mapping), tuple(range(len(bag)))
+
+    def reduce(
+        self,
+        structure: Structure,
+        bag: tuple[Element, ...],
+        expected_type: MSOType,
+    ) -> Structure:
+        """A minimal witness of ``expected_type``: greedily delete
+        non-bag elements, keeping a deletion iff the induced
+        substructure still has the expected type (and still passes the
+        structure filter).  Deterministic (repr-sorted deletion order),
+        so one type always reduces to one canonical witness."""
+        stats = self.stats
+        stats.reductions += 1
+        bag_set = frozenset(bag)
+        structure_filter = self.structure_filter
+        changed = True
+        while changed:
+            changed = False
+            for element in sorted(structure.domain - bag_set, key=repr):
+                candidate = structure.induced(structure.domain - {element})
+                if structure_filter and not structure_filter(candidate):
+                    continue
+                # reduction candidates are typed with their own fresh
+                # context (no reuse value: each candidate is typed once)
+                if TypeContext(candidate).type_of(bag, self.k) != expected_type:
+                    continue
+                structure = candidate
+                stats.elements_deleted += 1
+                changed = True
+        size = len(structure.domain)
+        if size > self.max_witness_size:
+            raise CompilerLimitError(
+                f"minimal witness has {size} elements "
+                f"(limit {self.max_witness_size}); even the reduced "
+                "representatives outgrow the bound -- the "
+                "signature/width/depth combination is outside the "
+                "practical envelope of the generic construction"
+            )
+        if size > stats.max_reduced_witness:
+            stats.max_reduced_witness = size
+        return structure
+
+
+def reduce_witness(
+    structure: Structure,
+    bag: tuple[Element, ...],
+    k: int,
+    structure_filter: Callable[[Structure], bool] | None = None,
+) -> Structure:
+    """Standalone witness reduction: the minimal representative of
+    ``(structure, bag)``'s rank-k type (see :meth:`TypeAlgebra.reduce`).
+
+    Convenience wrapper for tests and interactive use; the compiler
+    goes through a shared :class:`TypeAlgebra`.
+    """
+    algebra = TypeAlgebra(
+        k, max_witness_size=len(structure.domain), structure_filter=structure_filter
+    )
+    return algebra.reduce(structure, bag, algebra.type_of(structure, bag))

@@ -1014,17 +1014,41 @@ class _CompiledStreamRule:
 
     def fire(self, args: tuple[int, ...]) -> None:
         """Instantiate for one freshly derived driver atom."""
+        self.fire_batch((args,))
+
+    def fire_batch(self, batch) -> None:
+        """Instantiate for a whole round's worth of driver atoms.
+
+        One `_run` walks the op list for all of the round's rows
+        together, so the per-event constants (op dispatch, handle
+        loads, the emit prologue) are paid once per (rule, round)
+        instead of once per derived driver atom -- the lever for
+        fully-live programs like the grid cover DP, where every rule
+        fires for nearly every node and the streamed emitter used to
+        trail the eager batch pipeline on dispatch overhead alone.
+        """
         self.invoked = True
-        for pos, cid in self.driver_consts:
-            if args[pos] != cid:
-                return
-        for pos, earlier in self.driver_dups:
-            if args[pos] != args[earlier]:
-                return
-        row = [0] * self.nslots
-        for pos, s in self.driver_slots:
-            row[s] = args[pos]
-        self._run([row])
+        rows = []
+        append = rows.append
+        nslots = self.nslots
+        driver_consts = self.driver_consts
+        driver_dups = self.driver_dups
+        driver_slots = self.driver_slots
+        for args in batch:
+            if driver_consts and any(
+                args[pos] != cid for pos, cid in driver_consts
+            ):
+                continue
+            if driver_dups and any(
+                args[pos] != args[earlier] for pos, earlier in driver_dups
+            ):
+                continue
+            row = [0] * nslots
+            for pos, s in driver_slots:
+                row[s] = args[pos]
+            append(row)
+        if rows:
+            self._run(rows)
 
     def fire_base(self) -> None:
         """Instantiate a base rule (no intensional body literal)."""
@@ -1433,12 +1457,19 @@ def ground_program_streamed(
         fresh = take_fresh()
         if not fresh:
             break
+        # batch the round's driver events per predicate, then hand each
+        # driven rule its whole batch in one call: the rule's op list
+        # is walked once per (rule, round) instead of once per event
+        # (ROADMAP (f) -- the per-event constants were what kept the
+        # streamed emitter behind eager on fully-live programs)
+        batches: dict[str, list[tuple[int, ...]]] = {}
         for fresh_id in fresh:
             predicate, args = atom_of(fresh_id)
-            rules = get_driven(predicate)
-            if rules is not None:
-                for compiled in rules:
-                    compiled.fire(args)
+            if get_driven(predicate) is not None:
+                batches.setdefault(predicate, []).append(args)
+        for predicate, batch in batches.items():
+            for compiled in driven[predicate]:
+                compiled.fire_batch(batch)
     for rules in driven.values():
         for compiled in rules:
             if not compiled.invoked:

@@ -104,17 +104,34 @@ class TestLastRoundSetMoveOptimization:
         with brute-force enumeration over all subsets of the domain."""
         from itertools import chain, combinations
 
-        from repro.mso.types import atomic_type
+        from repro.mso.types import TypeContext
 
         g = Graph(vertices=[0, 1, 2, 3], edges=[(0, 1), (2, 3)])
         s = g2s(g)
         pts = (0, 1)
         domain = sorted(s.domain, key=repr)
+        context = TypeContext(s)
         full = frozenset(
-            ("t0", atomic_type(s, pts, (frozenset(q),)))
+            context.type_of(pts, 0, (frozenset(q),))
             for q in chain.from_iterable(
                 combinations(domain, r) for r in range(len(domain) + 1)
             )
         )
-        computed = mso_type(s, pts, 1)
+        computed = mso_type(s, pts, 1, context=context)
         assert computed[3] == full  # the set-successor component
+
+    def test_depth_one_point_moves_match_full_retyping(self):
+        """The prefix-extension fast path for point moves must agree
+        with retyping the extended point tuple from scratch."""
+        from repro.mso.types import TypeContext
+
+        g = Graph(vertices=[0, 1, 2, 3], edges=[(0, 1), (1, 2), (2, 3)])
+        s = g2s(g)
+        pts = (0, 2)
+        context = TypeContext(s)
+        computed = mso_type(s, pts, 1, context=context)
+        full = frozenset(
+            TypeContext(s).type_of(pts + (c,), 0)
+            for c in sorted(s.domain, key=repr)
+        )
+        assert computed[2] == full  # the point-successor component
