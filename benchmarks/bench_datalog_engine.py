@@ -371,7 +371,7 @@ def run_comparison(quick, repeat=3):
 # eager interned ablation vs raw values -- on chain/grid/tree families.
 # ----------------------------------------------------------------------
 
-SCHEMA_VERSION = "bench-engine/v3"
+SCHEMA_VERSION = "bench-engine/v4"
 
 SOLVER_BACKENDS = [
     "quasi-guarded",
@@ -805,13 +805,21 @@ def check_baseline_drift(previous, payload):
     return failures
 
 
-def build_payload(results, solver_results, solve_many_results, quick):
+def build_payload(
+    results,
+    solver_results,
+    solve_many_results,
+    quick,
+    service_throughput=None,
+):
     """The machine-readable perf trajectory consumed by later PRs.
 
-    ``solver_speedups`` records the tentpole ratio of this schema
-    version: eager interned materialization over streamed+pruned
-    grounding (how much the push-based emitter saves)."""
-    return {
+    ``solver_speedups`` records the eager-vs-streamed grounding ratio;
+    the v4 tentpole section, ``service_throughput``, is *owned* by
+    ``bench_solver_service.py`` -- this harness carries the checked-in
+    record through unchanged so the two benchmarks can regenerate the
+    baseline in either order."""
+    payload = {
         "schema": SCHEMA_VERSION,
         "benchmark": "benchmarks/bench_datalog_engine.py",
         "quick": quick,
@@ -846,6 +854,9 @@ def build_payload(results, solver_results, solve_many_results, quick):
         },
         "solve_many": solve_many_results,
     }
+    if service_throughput is not None:
+        payload["service_throughput"] = service_throughput
+    return payload
 
 
 def write_baseline(path, payload):
@@ -905,15 +916,23 @@ def main(argv=None) -> int:
     failures.extend(solve_many_failures)
     for key, value in sorted(solve_many_results.items()):
         print(f"  {key}: {value}")
-    payload = build_payload(
-        results, solver_results, solve_many_results, args.quick
-    )
     previous = None
     if args.out.exists():
         try:
             previous = json.loads(args.out.read_text())
         except json.JSONDecodeError:
             failures.append(f"baseline drift: {args.out} is not valid JSON")
+    payload = build_payload(
+        results,
+        solver_results,
+        solve_many_results,
+        args.quick,
+        service_throughput=(
+            previous.get("service_throughput")
+            if previous is not None
+            else None
+        ),
+    )
     failures.extend(check_baseline_drift(previous, payload))
     out = write_baseline(args.out, payload)
     print(f"\nwrote {out}")

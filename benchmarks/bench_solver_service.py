@@ -1,0 +1,436 @@
+"""Throughput harness for the persistent solver service.
+
+Theorem 4.5's amortization claim is only a production story if the
+serving layer can turn "compile once, solve many" into solves/sec.
+This benchmark drives :class:`repro.service.SolverService` with the
+mixed traffic shape the paper's workloads suggest (and the
+Frochaux-Schweikardt unranked-tree workloads in PAPERS.md motivate):
+
+* ``chain``  -- path graphs through the width-1 compiled
+  ``has_neighbor`` program;
+* ``tree``   -- random trees through the same width-1 program (chains
+  and trees share one compiled program, so their requests coalesce
+  into shared shards);
+* ``ladder`` -- 2 x N ladder grids through the *width-2* Theorem 4.5
+  program compiled against the grid class (``grid_graph_filter``) --
+  the expensive compile that the service amortizes: it happens once
+  here, never on the request path.
+
+Measured, and recorded as ``service_throughput`` in
+``BENCH_engine.json`` (schema ``bench-engine/v4``):
+
+1. **serial**: the in-process loop over the whole traffic (the
+   baseline the service must beat);
+2. **service**: the same traffic submitted request-by-request to a
+   warm ``SolverService`` at N workers -- wall-clock, solves/sec, and
+   per-request latency percentiles (p50/p95, measured from submit to
+   future resolution via done-callbacks);
+3. **warm vs cold**: ``CourcelleSolver.solve_many`` through the
+   caller-held service handle vs the one-shot ``multiprocessing.Pool``
+   path that re-pickles the solver and cold-starts workers per call.
+
+Contracts (CI-gated):
+
+* the service's answers are identical to the serial loop's, in input
+  order -- always;
+* with >= 4 effective cores and >= 4 workers, service throughput must
+  be >= 3x the serial loop (on smaller machines the speedup is
+  recorded but not gated: a pool cannot beat the loop on one core);
+* latency percentiles are sane (p50 > 0, p95 >= p50);
+* the checked-in ``BENCH_engine.json`` must already be on the
+  harness's schema version (run ``bench_datalog_engine.py`` first).
+
+Run ``python benchmarks/bench_solver_service.py [--quick]``; ``--quick``
+is the CI smoke test.
+"""
+
+import argparse
+import json
+import random
+import statistics
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running as a plain script without install
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_JSON = REPO_ROOT / "BENCH_engine.json"
+
+#: must match bench_datalog_engine.SCHEMA_VERSION -- both harnesses
+#: write sections of the same baseline file
+ENGINE_SCHEMA = "bench-engine/v4"
+
+#: the acceptance gate: at >= GATE_WORKERS workers on >= GATE_WORKERS
+#: cores, the service must clear GATE_SPEEDUP x the serial loop
+GATE_WORKERS = 4
+GATE_SPEEDUP = 3.0
+
+
+# ----------------------------------------------------------------------
+# Traffic
+# ----------------------------------------------------------------------
+
+
+def build_solvers():
+    """(width-1 chain/tree solver, width-2 ladder solver) -- compiled
+    once, outside every timed region."""
+    from repro.core import (
+        CourcelleSolver,
+        grid_graph_filter,
+        undirected_graph_filter,
+    )
+    from repro.mso import formulas
+    from repro.structures import GRAPH_SIGNATURE
+
+    width1 = CourcelleSolver(
+        formulas.has_neighbor("x"),
+        GRAPH_SIGNATURE,
+        width=1,
+        free_var="x",
+        structure_filter=undirected_graph_filter,
+    )
+    ladder = CourcelleSolver(
+        formulas.has_neighbor("x"),
+        GRAPH_SIGNATURE,
+        width=2,
+        free_var="x",
+        structure_filter=grid_graph_filter,
+    )
+    return width1, ladder
+
+
+def build_traffic(quick, seed=0xFEED):
+    """The mixed request stream: a list of (class, solver_index,
+    structure), interleaved round-robin so per-program coalescing is
+    actually exercised (solver_index 0 = width-1, 1 = ladder)."""
+    from repro.problems import random_tree_graph
+    from repro.structures import Graph, graph_to_structure
+
+    if quick:
+        chain_n, tree_n, ladder_n = 120, 100, 6
+        chains, trees, ladders = 12, 12, 3
+    else:
+        chain_n, tree_n, ladder_n = 200, 150, 10
+        chains, trees, ladders = 24, 24, 6
+    rng = random.Random(seed)
+    classes = {
+        "chain": [
+            (0, graph_to_structure(Graph.path(chain_n)))
+            for _ in range(chains)
+        ],
+        "tree": [
+            (0, graph_to_structure(random_tree_graph(rng, tree_n)))
+            for _ in range(trees)
+        ],
+        "ladder": [
+            (1, graph_to_structure(Graph.grid(2, ladder_n)))
+            for _ in range(ladders)
+        ],
+    }
+    # round-robin interleave: chain, tree, ladder, chain, tree, ...
+    queues = {name: list(items) for name, items in classes.items()}
+    traffic = []
+    while any(queues.values()):
+        for name in ("chain", "tree", "ladder"):
+            if queues[name]:
+                idx, structure = queues[name].pop(0)
+                traffic.append((name, idx, structure))
+    shape = {
+        "chain": {"count": chains, "n": chain_n},
+        "tree": {"count": trees, "n": tree_n},
+        "ladder": {"count": ladders, "n": ladder_n},
+    }
+    return traffic, shape
+
+
+def percentile(values, q):
+    """The q-quantile (0..1) of values by linear interpolation."""
+    if not values:
+        return 0.0
+    if len(values) == 1:
+        return values[0]
+    return statistics.quantiles(values, n=100, method="inclusive")[
+        max(0, min(98, round(q * 100) - 1))
+    ]
+
+
+# ----------------------------------------------------------------------
+# The measured runs
+# ----------------------------------------------------------------------
+
+
+def run_serial(solvers, traffic):
+    """The in-process baseline: one loop, no pool, no service."""
+    t0 = time.perf_counter()
+    results = [solvers[idx].query(structure) for _, idx, structure in traffic]
+    return (time.perf_counter() - t0) * 1000.0, results
+
+
+def run_service(solvers, traffic, workers, max_shard):
+    """The same traffic through a warm SolverService.
+
+    The service is started and the programs warmed (every worker has
+    solved each program once) *before* the timed region: steady-state
+    throughput is the claim, and worker fork + the one-time program
+    load are the cold cost the service exists to amortize.  Returns
+    (ms, results, per-request latency ms list, stats, warm_vs_cold).
+    """
+    from repro.service import SolverService
+
+    with SolverService(workers=workers, max_shard=max_shard) as service:
+        handles = [service.register(solver) for solver in solvers]
+        # warm-up: one full round of every (worker x program) pair --
+        # send `workers` copies of a tiny structure per program
+        warm = []
+        for name, idx, structure in traffic:
+            if len(warm) < workers * len(handles):
+                warm.extend(
+                    handles[idx].submit(structure) for _ in range(workers)
+                )
+        for future in warm:
+            future.result(timeout=300)
+
+        latencies = []
+        t0 = time.perf_counter()
+        futures = []
+        for _name, idx, structure in traffic:
+            submitted = time.perf_counter()
+            future = handles[idx].submit(structure)
+            future.add_done_callback(
+                lambda _f, t=submitted: latencies.append(
+                    (time.perf_counter() - t) * 1000.0
+                )
+            )
+            futures.append(future)
+        results = [future.result(timeout=600) for future in futures]
+        service_ms = (time.perf_counter() - t0) * 1000.0
+
+        # warm-vs-cold (the solve_many routing satellite): the same
+        # batch through the caller-held service handle vs the one-shot
+        # pool that re-pickles the solver and cold-starts workers
+        batch = [s for _n, idx, s in traffic if idx == 0]
+        t0 = time.perf_counter()
+        warm_results = solvers[0].solve_many(batch, service=service)
+        warm_ms = (time.perf_counter() - t0) * 1000.0
+        stats = service.stats
+    t0 = time.perf_counter()
+    cold_results = solvers[0].solve_many(batch, workers=workers)
+    cold_ms = (time.perf_counter() - t0) * 1000.0
+    if warm_results != cold_results:
+        raise AssertionError(
+            "service-routed solve_many disagrees with the one-shot pool"
+        )
+    warm_vs_cold = {
+        "batch_size": len(batch),
+        "warm_service_ms": round(warm_ms, 3),
+        "cold_pool_ms": round(cold_ms, 3),
+        "cold_over_warm": round(cold_ms / warm_ms, 2) if warm_ms else None,
+    }
+    return service_ms, results, latencies, stats, warm_vs_cold
+
+
+# ----------------------------------------------------------------------
+# Contracts
+# ----------------------------------------------------------------------
+
+
+def check_service_contracts(record):
+    """The CI gate over a ``service_throughput`` record; pure, so the
+    test suite exercises it on synthetic records.
+
+    Identity is gated unconditionally.  The throughput gate --
+    ``GATE_SPEEDUP``x over the serial loop -- applies when the record
+    was taken at >= GATE_WORKERS workers on >= GATE_WORKERS effective
+    cores (``gate.applied``); on smaller machines the speedup is
+    recorded for trend-tracking but a pool cannot beat a serial loop
+    without cores to run on.
+    """
+    failures = []
+    if not record.get("identical"):
+        failures.append(
+            "service answers differ from the serial in-process loop"
+        )
+    latency = record.get("latency_ms", {})
+    p50, p95 = latency.get("p50", 0), latency.get("p95", 0)
+    if not p50 > 0:
+        failures.append("latency p50 must be positive")
+    elif p95 < p50:
+        failures.append(f"latency p95 ({p95}) below p50 ({p50})")
+    gate = record.get("gate", {})
+    if gate.get("applied"):
+        required = gate.get("required_speedup", GATE_SPEEDUP)
+        speedup = record.get("speedup", 0)
+        if speedup < required:
+            failures.append(
+                f"service throughput {speedup}x the serial loop at "
+                f"{record.get('workers')} workers -- below the required "
+                f"{required}x"
+            )
+    return failures
+
+
+def effective_cpus():
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+
+def build_record(quick, workers, max_shard):
+    solvers = build_solvers()
+    traffic, shape = build_traffic(quick)
+    serial_ms, serial_results = run_serial(solvers, traffic)
+    service_ms, service_results, latencies, stats, warm_vs_cold = (
+        run_service(solvers, traffic, workers, max_shard)
+    )
+    identical = service_results == serial_results
+    n = len(traffic)
+    cpus = effective_cpus()
+    speedup = serial_ms / service_ms if service_ms else float("inf")
+    record = {
+        "schema_note": "service_throughput section of " + ENGINE_SCHEMA,
+        "quick": quick,
+        "workers": workers,
+        "max_shard": max_shard,
+        "cpu_count": cpus,
+        "traffic": shape,
+        "requests": n,
+        "serial_ms": round(serial_ms, 3),
+        "serial_solves_per_sec": round(n / (serial_ms / 1000.0), 2),
+        "service_ms": round(service_ms, 3),
+        "service_solves_per_sec": round(n / (service_ms / 1000.0), 2),
+        "speedup": round(speedup, 2),
+        "latency_ms": {
+            "p50": round(percentile(sorted(latencies), 0.50), 3),
+            "p95": round(percentile(sorted(latencies), 0.95), 3),
+        },
+        "identical": identical,
+        "warm_vs_cold": warm_vs_cold,
+        "scheduler": {
+            "shards_dispatched": stats.shards_dispatched,
+            "peak_queue_depth": stats.peak_queue_depth,
+            "worker_restarts": stats.worker_restarts,
+        },
+        "gate": {
+            "applied": cpus >= GATE_WORKERS and workers >= GATE_WORKERS,
+            "required_speedup": GATE_SPEEDUP,
+        },
+    }
+    return record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller traffic (the CI smoke test)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=GATE_WORKERS,
+        help=f"service worker count (default {GATE_WORKERS})",
+    )
+    parser.add_argument(
+        "--max-shard",
+        type=int,
+        default=8,
+        help="scheduler shard-size cap (default 8)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=BENCH_JSON,
+        help=f"the baseline to update (default {BENCH_JSON})",
+    )
+    args = parser.parse_args(argv)
+
+    failures = []
+    baseline = None
+    if args.out.exists():
+        try:
+            baseline = json.loads(args.out.read_text())
+        except json.JSONDecodeError:
+            failures.append(f"{args.out} is not valid JSON")
+    if baseline is None:
+        failures.append(
+            f"{args.out} missing -- run bench_datalog_engine.py first "
+            "(this harness only owns the service_throughput section)"
+        )
+    elif baseline.get("schema") != ENGINE_SCHEMA:
+        failures.append(
+            f"baseline drift: {args.out} is on schema "
+            f"{baseline.get('schema')!r}, this harness writes "
+            f"{ENGINE_SCHEMA!r} -- regenerate with "
+            "bench_datalog_engine.py first"
+        )
+    if failures:
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+
+    record = build_record(args.quick, args.workers, args.max_shard)
+    failures = check_service_contracts(record)
+
+    print("solver service throughput (mixed chain/tree/ladder traffic)")
+    print(f"  requests:      {record['requests']} {record['traffic']}")
+    print(
+        f"  serial loop:   {record['serial_ms']:.0f} ms "
+        f"({record['serial_solves_per_sec']} solves/s)"
+    )
+    print(
+        f"  service x{record['workers']}:    {record['service_ms']:.0f} ms "
+        f"({record['service_solves_per_sec']} solves/s, "
+        f"{record['speedup']}x)"
+    )
+    print(
+        f"  latency:       p50 {record['latency_ms']['p50']:.0f} ms, "
+        f"p95 {record['latency_ms']['p95']:.0f} ms"
+    )
+    print(
+        f"  warm vs cold:  service {record['warm_vs_cold']['warm_service_ms']:.0f} ms "
+        f"vs one-shot pool {record['warm_vs_cold']['cold_pool_ms']:.0f} ms "
+        f"({record['warm_vs_cold']['cold_over_warm']}x colder)"
+    )
+    print(
+        f"  gate:          {'applied' if record['gate']['applied'] else 'recorded only'}"
+        f" (cpus={record['cpu_count']}, need >= {GATE_WORKERS} cores and"
+        f" workers for the {GATE_SPEEDUP}x gate)"
+    )
+
+    baseline["service_throughput"] = record
+    args.out.write_text(
+        json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"\nupdated {args.out} (service_throughput)")
+    if failures:
+        print("\nCONTRACT VIOLATIONS:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        "\nok: service answers identical to the serial loop; latency "
+        "percentiles sane; throughput gate "
+        + (
+            "cleared"
+            if record["gate"]["applied"]
+            else "recorded (machine below the gate's core count)"
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,7 +11,17 @@ structures, tree decompositions, datalog and MSO.
 See README.md for a tour and DESIGN.md for the system inventory.
 """
 
-from . import bench, core, datalog, fta, mso, problems, structures, treewidth
+from . import (
+    bench,
+    core,
+    datalog,
+    fta,
+    mso,
+    problems,
+    service,
+    structures,
+    treewidth,
+)
 
 __version__ = "1.0.0"
 
@@ -22,6 +32,7 @@ __all__ = [
     "fta",
     "mso",
     "problems",
+    "service",
     "structures",
     "treewidth",
     "__version__",

@@ -267,8 +267,9 @@ class CourcelleSolver:
         self,
         structures,
         tds=None,
-        workers: int | None = None,
+        workers: "int | str | None" = None,
         chunksize: int | None = None,
+        service=None,
     ) -> list:
         """Solve a batch of independent structures, optionally sharded.
 
@@ -281,7 +282,16 @@ class CourcelleSolver:
         mapping structures in order, so the result list is identical
         whatever the worker count (ROADMAP item (c): batch workloads
         scale with cores because each structure's decompose -> encode
-        -> solve chain is independent).
+        -> solve chain is independent).  ``workers="auto"`` resolves to
+        :func:`default_worker_count` capped at the batch size.
+
+        ``service`` routes the batch through a caller-held persistent
+        :class:`repro.service.SolverService` instead of the one-shot
+        pool above: the workers are already running and hold this
+        solver's compiled program warm, so repeated small batches skip
+        the pool startup and solver re-pickle that the one-shot path
+        pays on every call (``workers``/``chunksize`` are then ignored
+        -- the service owns its worker count).
         """
         structures = list(structures)
         if tds is None:
@@ -293,8 +303,12 @@ class CourcelleSolver:
                     f"{len(structures)} structures but {len(tds)} "
                     "decompositions"
                 )
+        if service is not None:
+            return service.solve_many(self, structures, tds)
         solve_one = self.decide if self.compiled.is_sentence else self.query
-        if workers is None:
+        if workers == "auto":
+            workers = default_worker_count(len(structures))
+        elif workers is None:
             workers = 1
         if workers <= 1 or len(structures) <= 1:
             return [solve_one(s, td) for s, td in zip(structures, tds)]
@@ -319,14 +333,17 @@ class CourcelleSolver:
         return self._formula
 
 
-def default_worker_count() -> int:
+def default_worker_count(batch_size: int | None = None) -> int:
     """A sensible ``workers=`` for :meth:`CourcelleSolver.solve_many`:
-    the scheduler-visible CPU count, capped so small batches on big
-    machines don't drown in pool startup."""
+    the scheduler-visible CPU count, capped at ``batch_size`` so small
+    batches on big machines don't drown in pool startup (a 4-structure
+    batch on a 64-core machine gets 4 workers, not 64)."""
     try:
         cpus = len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
         cpus = os.cpu_count() or 1
+    if batch_size is not None:
+        cpus = min(cpus, batch_size)
     return max(1, cpus)
 
 

@@ -37,6 +37,7 @@ candidates (sharded, async, external-solver) plug in the same way.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Protocol, runtime_checkable
@@ -131,6 +132,11 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: lookups that missed, built, and then found the entry already
+    #: inserted by a concurrent thread (the build ran outside the lock,
+    #: so two simultaneous first lookups may both pay it; the earlier
+    #: insert wins and the later build is discarded -- and counted here)
+    duplicate_builds: int = 0
 
     @property
     def lookups(self) -> int:
@@ -153,11 +159,22 @@ class ProgramCache:
     resolves to one shared standard registry, so default callers still
     share entries.  Cached artifacts keep their registry alive, which
     is what makes identity keys safe against id reuse.
+
+    The cache is **thread-safe**: ``default_cache()`` is one
+    process-wide instance and the solver service's scheduler threads
+    hit it concurrently, so every touch of the LRU ``OrderedDict``s
+    (get / ``move_to_end`` / insert / evict) happens under one
+    re-entrant lock.  Builds run *outside* the lock -- planning a
+    program can be expensive and must not serialize unrelated lookups
+    -- so two threads racing on the same cold key may both build; the
+    insert is re-checked under the lock, the first entry wins, and the
+    loser is counted in ``stats.duplicate_builds``.
     """
 
     def __init__(self, maxsize: int = 256):
         self.maxsize = maxsize
         self.stats = CacheStats()
+        self._lock = threading.RLock()
         self._entries: OrderedDict[tuple, object] = OrderedDict()
         # fingerprint memo keyed by object identity; holding the
         # Program pins its id, so entries can never be misattributed
@@ -166,39 +183,60 @@ class ProgramCache:
         )
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._fingerprints.clear()
-        self.stats = CacheStats()
+        with self._lock:
+            self._entries.clear()
+            self._fingerprints.clear()
+            self.stats = CacheStats()
+
+    def __getstate__(self):
+        # locks don't pickle; a cache crossing a process boundary (the
+        # service worker handoff) starts empty on the other side
+        return {"maxsize": self.maxsize}
+
+    def __setstate__(self, state):
+        self.__init__(state["maxsize"])
 
     def _fingerprint_of(self, program: Program) -> str:
         """Per-lookup fingerprinting would re-hash the whole program on
         every solve -- exactly the per-structure cost this cache
         amortizes -- so memoize by identity."""
-        entry = self._fingerprints.get(id(program))
-        if entry is not None:
-            self._fingerprints.move_to_end(id(program))
-            return entry[1]
+        with self._lock:
+            entry = self._fingerprints.get(id(program))
+            if entry is not None:
+                self._fingerprints.move_to_end(id(program))
+                return entry[1]
         fingerprint = program_fingerprint(program)
-        self._fingerprints[id(program)] = (program, fingerprint)
-        if len(self._fingerprints) > self.maxsize:
-            self._fingerprints.popitem(last=False)
+        with self._lock:
+            self._fingerprints[id(program)] = (program, fingerprint)
+            if len(self._fingerprints) > self.maxsize:
+                self._fingerprints.popitem(last=False)
         return fingerprint
 
     def _get_or_build(self, key: tuple, build: Callable[[], object]):
-        entry = self._entries.get(key)
-        if entry is not None:
-            self.stats.hits += 1
-            self._entries.move_to_end(key)
-            return entry
-        self.stats.misses += 1
-        entry = build()
-        self._entries[key] = entry
-        if len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.stats.hits += 1
+                self._entries.move_to_end(key)
+                return entry
+            self.stats.misses += 1
+        entry = build()  # outside the lock: builds must not serialize
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                # a concurrent thread built and inserted first; keep
+                # its entry (callers may already hold references to it)
+                self.stats.duplicate_builds += 1
+                self._entries.move_to_end(key)
+                return existing
+            self._entries[key] = entry
+            if len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
         return entry
 
     @staticmethod

@@ -1,0 +1,37 @@
+"""Persistent solver service: the Theorem 4.5 serving layer.
+
+Theorem 4.5's amortization claim -- compile once, solve any number of
+width-w structures in linear data complexity -- only pays off in
+production if the per-batch costs go to zero too.  This package keeps
+long-lived worker processes resident (each rebuilt once from the
+:class:`~repro.core.solver.CourcelleSolver` pickle handoff: warm
+``ProgramCache``, prepared grounding plans and demand-relevance set --
+compilation never happens on the request path) behind an asynchronous
+batch scheduler that coalesces individual solve requests per compiled
+program into shards, dispatches them to idle workers, and resolves one
+future per request in input order.
+
+See ``README.md`` in this directory for the architecture and
+``benchmarks/bench_solver_service.py`` for the throughput harness that
+CI gates (``service_throughput`` in ``BENCH_engine.json``).
+"""
+
+from .service import (
+    ProgramHandle,
+    ServiceClosed,
+    ServiceSaturated,
+    ServiceStats,
+    ShardFailed,
+    SolverService,
+    coalesce,
+)
+
+__all__ = [
+    "ProgramHandle",
+    "ServiceClosed",
+    "ServiceSaturated",
+    "ServiceStats",
+    "ShardFailed",
+    "SolverService",
+    "coalesce",
+]

@@ -1,0 +1,673 @@
+"""The persistent solver service and its coalescing batch scheduler.
+
+``CourcelleSolver.solve_many`` shards a batch across a one-shot
+``multiprocessing.Pool``: correct, but every call re-pickles the solver
+and cold-starts a pool, so repeated small batches pay startup each time
+-- the opposite of what Theorem 4.5's compile-once amortization
+promises.  :class:`SolverService` keeps the pool alive:
+
+* **Long-lived workers.**  Each worker process rebuilds a solver
+  exactly once per registered program from the same pickle handoff the
+  one-shot pool uses (``CourcelleSolver.__getstate__``: compiled
+  program + prepared grounding plans + demand-relevance set), then
+  holds it warm -- ``ProgramCache`` populated, plans resident.
+  Compilation and planning never happen on the request path.
+* **Coalescing batch scheduler.**  ``submit()`` / ``submit_many()``
+  enqueue individual requests and return
+  :class:`concurrent.futures.Future`\\ s.  While all workers are busy,
+  requests accumulate; whenever workers go idle the scheduler groups
+  the queue *per compiled program* (:func:`coalesce`), cuts each group
+  into shards sized to the idle capacity (capped at ``max_shard``), and
+  dispatches.  Results resolve one future per request, positionally, so
+  out-of-order shard completion can never misassign or reorder answers.
+* **Backpressure.**  The request queue is bounded (``max_pending``);
+  ``submit(block=True)`` waits for space, ``block=False`` raises
+  :class:`ServiceSaturated` so callers can shed load.
+* **Graceful shutdown.**  ``shutdown(drain=True)`` stops intake,
+  drains the queue and all in-flight shards, then stops the workers;
+  ``drain=False`` cancels queued requests and abandons in-flight work.
+* **Crash recovery.**  A worker that dies mid-shard (OOM-killed,
+  segfaulted C extension, ``os._exit``) is detected by the result
+  collector, replaced with a fresh process, and its lost shards are
+  resubmitted -- the futures of a crashed shard still resolve.
+
+Thread-safety note: the scheduler and collector are threads inside the
+submitting process, which is exactly what turned the previously latent
+single-threaded assumptions of ``ProgramCache`` into real races -- see
+the PR 6 lock in :class:`repro.datalog.backends.ProgramCache`.  Future
+callbacks added to returned futures run on the collector thread; they
+must not block.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import pickle
+import queue as queue_module
+import threading
+import time
+import traceback
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+from ..core.solver import default_worker_count
+from ..datalog.backends import program_fingerprint
+
+__all__ = [
+    "ProgramHandle",
+    "ServiceClosed",
+    "ServiceSaturated",
+    "ServiceStats",
+    "ShardFailed",
+    "SolverService",
+    "coalesce",
+]
+
+
+class ServiceClosed(RuntimeError):
+    """Raised by ``submit`` after ``shutdown()`` has been called."""
+
+
+class ServiceSaturated(RuntimeError):
+    """Raised by ``submit(block=False)`` when the queue is at
+    ``max_pending`` -- the backpressure signal."""
+
+
+class ShardFailed(RuntimeError):
+    """A worker raised while solving a shard; carries the worker-side
+    traceback.  Set as the exception of every future in the shard."""
+
+
+@dataclass
+class ServiceStats:
+    """Counters over the service's lifetime (read-only for callers)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    shards_dispatched: int = 0
+    #: shards lost to a worker crash and dispatched again
+    shards_resubmitted: int = 0
+    worker_restarts: int = 0
+    peak_queue_depth: int = 0
+
+
+class _Request:
+    """One queued solve: a structure (plus optional decomposition) and
+    the future its answer resolves."""
+
+    __slots__ = ("structure", "td", "future")
+
+    def __init__(self, structure, td, future: Future):
+        self.structure = structure
+        self.td = td
+        self.future = future
+
+
+class _Shard:
+    """A dispatchable unit: consecutive requests of one program.
+
+    ``dispatched`` flips on first hand-off to a worker; a crash
+    resubmission re-sends the same shard object (same ``shard_id``,
+    futures already in the running state) to a fresh worker.
+    """
+
+    __slots__ = ("shard_id", "key", "requests", "dispatched", "worker")
+
+    def __init__(self, shard_id: int, key: str, requests: list[_Request]):
+        self.shard_id = shard_id
+        self.key = key
+        self.requests = requests
+        self.dispatched = False
+        self.worker: "_Worker | None" = None
+
+
+class _Worker:
+    """A worker process plus its task queue and parent-side book-keeping
+    (which programs it has loaded, which shards it is running)."""
+
+    __slots__ = ("process", "tasks", "loaded", "inflight")
+
+    def __init__(self, process, tasks):
+        self.process = process
+        self.tasks = tasks
+        self.loaded: set[str] = set()
+        self.inflight: dict[int, _Shard] = {}
+
+
+def _service_worker_main(tasks, results) -> None:
+    """Worker process loop.
+
+    Solvers arrive once per program as a pickled payload (``"load"``)
+    and stay resident -- the per-worker ``default_cache()`` fills on the
+    first solve and every later shard of the same program runs warm.
+    Shards (``"solve"``) evaluate request-by-request and post one
+    ``("done", shard_id, values)`` (or ``("error", ...)``) per shard.
+    """
+    solvers = {}
+    while True:
+        try:
+            message = tasks.get()
+        except (EOFError, OSError):  # parent went away
+            return
+        kind = message[0]
+        if kind == "stop":
+            return
+        if kind == "load":
+            _, key, payload = message
+            if key not in solvers:
+                solvers[key] = pickle.loads(payload)
+            continue
+        # ("solve", shard_id, key, [(structure, td), ...])
+        _, shard_id, key, items = message
+        try:
+            solver = solvers[key]
+            solve_one = (
+                solver.decide if solver.compiled.is_sentence else solver.query
+            )
+            values = [solve_one(structure, td) for structure, td in items]
+        except BaseException as exc:  # report, don't kill the worker
+            results.put(
+                (
+                    "error",
+                    shard_id,
+                    f"{type(exc).__name__}: {exc}",
+                    traceback.format_exc(),
+                )
+            )
+        else:
+            results.put(("done", shard_id, values))
+
+
+def coalesce(
+    pending, idle_workers: int, max_shard: int
+) -> list[tuple[str, list]]:
+    """Group queued ``(program_key, request)`` pairs per compiled
+    program (preserving arrival order within each program) and cut each
+    group into shards sized for the idle capacity.
+
+    The shard size is ``ceil(group / idle_workers)`` capped at
+    ``max_shard`` and floored at 1: a burst of one program spreads
+    across every idle worker instead of serializing on one, while a
+    trickle stays one small shard.  Pure function -- unit-tested
+    directly, used under the service lock.
+    """
+    if idle_workers < 1:
+        raise ValueError("coalesce needs at least one idle worker")
+    groups: dict[str, list] = {}
+    for key, request in pending:
+        groups.setdefault(key, []).append(request)
+    shards: list[tuple[str, list]] = []
+    for key, requests in groups.items():
+        per_shard = max(
+            1, min(max_shard, -(-len(requests) // idle_workers))
+        )
+        for i in range(0, len(requests), per_shard):
+            shards.append((key, requests[i : i + per_shard]))
+    return shards
+
+
+class ProgramHandle:
+    """One registered compiled program on a :class:`SolverService`.
+
+    Obtained from :meth:`SolverService.register`; all submissions go
+    through a handle so the service knows which warm solver a request
+    belongs to (and which requests can coalesce into one shard).
+    """
+
+    __slots__ = ("_service", "key")
+
+    def __init__(self, service: "SolverService", key: str):
+        self._service = service
+        self.key = key
+
+    def submit(self, structure, td=None, *, block: bool = True) -> Future:
+        """Enqueue one solve; returns the future of its answer."""
+        return self._service._submit(self.key, structure, td, block=block)
+
+    def submit_many(
+        self, structures, tds=None, *, block: bool = True
+    ) -> list[Future]:
+        """Enqueue a batch; returns one future per structure, in input
+        order."""
+        structures = list(structures)
+        if tds is None:
+            tds = [None] * len(structures)
+        else:
+            tds = list(tds)
+            if len(tds) != len(structures):
+                raise ValueError(
+                    f"{len(structures)} structures but {len(tds)} "
+                    "decompositions"
+                )
+        return [
+            self.submit(s, td, block=block)
+            for s, td in zip(structures, tds)
+        ]
+
+    def solve_many(self, structures, tds=None, timeout=None) -> list:
+        """Submit a batch and wait: the blocking convenience mirror of
+        ``CourcelleSolver.solve_many`` (same result list, same input
+        order), served by the warm pool."""
+        futures = self.submit_many(structures, tds)
+        return [future.result(timeout) for future in futures]
+
+
+class SolverService:
+    """A persistent pool of solver workers behind a batch scheduler.
+
+    ``workers`` defaults to :func:`default_worker_count`.
+    ``max_pending`` bounds the request queue (backpressure);
+    ``max_shard`` caps how many requests one dispatch bundles.
+    ``context`` picks the multiprocessing start method (name or
+    context object); the platform default is used otherwise.
+
+    Use as a context manager for a drained shutdown::
+
+        with SolverService(workers=4) as service:
+            handle = service.register(solver)
+            futures = handle.submit_many(structures)
+            answers = [f.result() for f in futures]
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        max_pending: int = 1024,
+        max_shard: int = 64,
+        poll_interval: float = 0.05,
+        context=None,
+    ):
+        if workers is None:
+            workers = default_worker_count()
+        if workers < 1:
+            raise ValueError("a solver service needs at least one worker")
+        if max_pending < 1:
+            raise ValueError("max_pending must be positive")
+        if max_shard < 1:
+            raise ValueError("max_shard must be positive")
+        self.max_pending = max_pending
+        self.max_shard = max_shard
+        self._poll = poll_interval
+        if context is None:
+            self._ctx = multiprocessing.get_context()
+        elif isinstance(context, str):
+            self._ctx = multiprocessing.get_context(context)
+        else:
+            self._ctx = context
+        self.stats = ServiceStats()
+        self._lock = threading.Lock()
+        #: scheduler wake-ups and drain waiters
+        self._work = threading.Condition(self._lock)
+        #: backpressure waiters (same lock, separate wait set)
+        self._space = threading.Condition(self._lock)
+        self._pending: deque[tuple[str, _Request]] = deque()
+        self._shards: deque[_Shard] = deque()  # shaped, awaiting a worker
+        self._inflight: dict[int, _Shard] = {}
+        self._queued = 0  # requests in _pending + undispatched _shards
+        self._payloads: dict[str, bytes] = {}
+        self._handles: dict[str, ProgramHandle] = {}
+        self._shard_seq = itertools.count(1)
+        self._worker_seq = itertools.count(1)
+        self._closed = False
+        self._stopped = False
+        self._collector_stop = threading.Event()
+        self._results = self._ctx.Queue()
+        self._workers = [self._spawn_worker() for _ in range(workers)]
+        self._scheduler = threading.Thread(
+            target=self._scheduler_loop,
+            name="solver-service-scheduler",
+            daemon=True,
+        )
+        self._collector = threading.Thread(
+            target=self._collector_loop,
+            name="solver-service-collector",
+            daemon=True,
+        )
+        self._scheduler.start()
+        self._collector.start()
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests accepted but not yet handed to a worker."""
+        with self._lock:
+            return self._queued
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)
+
+    def register(self, solver) -> ProgramHandle:
+        """Register a ``CourcelleSolver``; idempotent per (backend,
+        compiled program).
+
+        The solver is pickled **once** here -- the same
+        ``__getstate__`` handoff the one-shot pool uses (compiled
+        program + prepared plans + relevance set) -- and shipped lazily
+        to each worker the first time a shard of this program reaches
+        it.  Registering an equal solver again (same program
+        fingerprint, backend, width) returns the existing handle
+        without re-pickling.
+        """
+        compiled = solver.compiled
+        key = ":".join(
+            (
+                solver.backend_name,
+                str(compiled.width),
+                "sentence" if compiled.is_sentence else "unary",
+                program_fingerprint(compiled.program),
+            )
+        )
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("service is shut down")
+            handle = self._handles.get(key)
+        if handle is not None:
+            return handle
+        payload = pickle.dumps(solver)  # outside the lock: can be large
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("service is shut down")
+            handle = self._handles.get(key)
+            if handle is None:
+                handle = ProgramHandle(self, key)
+                self._handles[key] = handle
+                self._payloads[key] = payload
+        return handle
+
+    def solve_many(self, solver, structures, tds=None) -> list:
+        """``CourcelleSolver.solve_many(..., service=self)`` lands
+        here: register (cached) and solve the batch on the warm pool."""
+        return self.register(solver).solve_many(structures, tds)
+
+    def shutdown(self, drain: bool = True, timeout: float | None = None):
+        """Stop the service.
+
+        ``drain=True`` (the default) stops intake, waits until every
+        queued request and in-flight shard has resolved, then stops the
+        workers -- no accepted request is ever dropped.  ``drain=False``
+        cancels queued requests, abandons in-flight shards (their
+        futures get :class:`ServiceClosed`), and terminates the workers
+        immediately.  Idempotent; ``timeout`` bounds the drain wait.
+        """
+        abandoned: list[Future] = []
+        with self._work:
+            if self._stopped:
+                return
+            self._closed = True
+            self._space.notify_all()
+            if not drain:
+                for _key, request in self._pending:
+                    request.future.cancel()
+                self._pending.clear()
+                for shard in self._shards:
+                    for request in shard.requests:
+                        if not request.future.cancel():
+                            abandoned.append(request.future)
+                self._shards.clear()
+                self._queued = 0
+                for shard in self._inflight.values():
+                    abandoned.extend(
+                        request.future for request in shard.requests
+                    )
+                self._inflight.clear()
+                for worker in self._workers:
+                    worker.inflight.clear()
+            else:
+                deadline = (
+                    None
+                    if timeout is None
+                    else time.monotonic() + timeout
+                )
+                while self._queued or self._inflight or self._shards:
+                    self._work.wait(self._poll)
+                    if deadline is not None and time.monotonic() >= deadline:
+                        break
+                if self._queued or self._inflight or self._shards:
+                    # drain timed out: abandon what's left so no future
+                    # hangs forever after the workers stop
+                    for _key, request in self._pending:
+                        if not request.future.cancel():
+                            abandoned.append(request.future)
+                    self._pending.clear()
+                    for shard in self._shards:
+                        for request in shard.requests:
+                            if not request.future.cancel():
+                                abandoned.append(request.future)
+                    self._shards.clear()
+                    self._queued = 0
+                    for shard in self._inflight.values():
+                        abandoned.extend(
+                            request.future for request in shard.requests
+                        )
+                    self._inflight.clear()
+            self._stopped = True
+            self._work.notify_all()
+        # past this point no thread dispatches or resolves anything new
+        for future in abandoned:
+            if not future.done():
+                future.set_exception(
+                    ServiceClosed("service shut down without draining")
+                )
+        for worker in self._workers:
+            if worker.process.is_alive():
+                if drain:
+                    try:
+                        worker.tasks.put(("stop",))
+                    except (OSError, ValueError):  # pragma: no cover
+                        pass
+                else:
+                    worker.process.terminate()
+        self._scheduler.join(timeout=5)
+        for worker in self._workers:
+            worker.process.join(timeout=5)
+            if worker.process.is_alive():  # pragma: no cover - stuck solve
+                worker.process.terminate()
+                worker.process.join(timeout=5)
+        self._collector_stop.set()
+        self._collector.join(timeout=5)
+
+    close = shutdown
+
+    # -- submission ----------------------------------------------------
+
+    def _submit(self, key, structure, td, *, block: bool = True) -> Future:
+        future: Future = Future()
+        request = _Request(structure, td, future)
+        with self._space:
+            if self._closed:
+                raise ServiceClosed("service is shut down")
+            if key not in self._payloads:
+                raise KeyError(f"program {key!r} is not registered")
+            while self._queued >= self.max_pending:
+                if not block:
+                    raise ServiceSaturated(
+                        f"request queue is full "
+                        f"({self._queued}/{self.max_pending})"
+                    )
+                self._space.wait(self._poll)
+                if self._closed:
+                    raise ServiceClosed("service shut down while waiting")
+            self._pending.append((key, request))
+            self._queued += 1
+            self.stats.submitted += 1
+            if self._queued > self.stats.peak_queue_depth:
+                self.stats.peak_queue_depth = self._queued
+            self._work.notify_all()
+        return future
+
+    # -- scheduler -----------------------------------------------------
+
+    def _idle_workers_locked(self) -> list[_Worker]:
+        return [
+            worker
+            for worker in self._workers
+            if not worker.inflight and worker.process.is_alive()
+        ]
+
+    def _dispatchable_locked(self) -> bool:
+        return bool(
+            (self._shards or self._pending) and self._idle_workers_locked()
+        )
+
+    def _scheduler_loop(self) -> None:
+        with self._work:
+            while True:
+                while not self._stopped and not self._dispatchable_locked():
+                    # timed wait: worker deaths / respawns don't notify
+                    self._work.wait(self._poll)
+                if self._stopped:
+                    return
+                self._dispatch_locked()
+
+    def _dispatch_locked(self) -> None:
+        idle = deque(self._idle_workers_locked())
+        # resubmissions and leftovers first: they are oldest
+        while idle and self._shards:
+            self._send_locked(idle.popleft(), self._shards.popleft())
+        if not idle or not self._pending:
+            return
+        pending = list(self._pending)
+        self._pending.clear()
+        for key, requests in coalesce(pending, len(idle), self.max_shard):
+            shard = _Shard(next(self._shard_seq), key, requests)
+            if idle:
+                self._send_locked(idle.popleft(), shard)
+            else:
+                self._shards.append(shard)  # dispatched as workers free up
+
+    def _send_locked(self, worker: _Worker, shard: _Shard) -> None:
+        if not shard.dispatched:
+            self._queued -= len(shard.requests)
+            self._space.notify_all()
+            # cancelled-while-queued requests drop out here; the rest
+            # transition to running (cancel() is refused from now on)
+            shard.requests = [
+                request
+                for request in shard.requests
+                if request.future.set_running_or_notify_cancel()
+            ]
+            shard.dispatched = True
+        if not shard.requests:
+            return
+        if shard.key not in worker.loaded:
+            worker.tasks.put(("load", shard.key, self._payloads[shard.key]))
+            worker.loaded.add(shard.key)
+        shard.worker = worker
+        self._inflight[shard.shard_id] = shard
+        worker.inflight[shard.shard_id] = shard
+        self.stats.shards_dispatched += 1
+        worker.tasks.put(
+            (
+                "solve",
+                shard.shard_id,
+                shard.key,
+                [(request.structure, request.td) for request in shard.requests],
+            )
+        )
+
+    # -- result collection & crash recovery ----------------------------
+
+    def _collector_loop(self) -> None:
+        while not self._collector_stop.is_set():
+            try:
+                message = self._results.get(timeout=self._poll)
+            except queue_module.Empty:
+                message = None
+            except (EOFError, OSError):  # pragma: no cover - queue gone
+                return
+            completions: list[tuple[Future, object, BaseException | None]] = []
+            with self._work:
+                if self._stopped and message is None:
+                    continue  # drain stragglers until told to stop
+                if message is not None:
+                    self._handle_message_locked(message, completions)
+                    while True:  # drain whatever arrived meanwhile
+                        try:
+                            self._handle_message_locked(
+                                self._results.get_nowait(), completions
+                            )
+                        except queue_module.Empty:
+                            break
+                if not self._stopped:
+                    self._recover_workers_locked()
+                self._work.notify_all()
+            # resolve outside the lock: done-callbacks run here and must
+            # be free to touch the service (e.g. submit a follow-up)
+            for future, value, exc in completions:
+                if future.done():
+                    continue  # resolved by a pre-crash duplicate result
+                if exc is not None:
+                    future.set_exception(exc)
+                else:
+                    future.set_result(value)
+
+    def _handle_message_locked(self, message, completions) -> None:
+        kind = message[0]
+        shard = self._inflight.pop(message[1], None)
+        if shard is None:
+            # duplicate delivery: the shard was resubmitted after a
+            # crash but the first worker's result surfaced anyway
+            return
+        if shard.worker is not None:
+            shard.worker.inflight.pop(shard.shard_id, None)
+        if kind == "done":
+            values = message[2]
+            for request, value in zip(shard.requests, values):
+                completions.append((request.future, value, None))
+            self.stats.completed += len(shard.requests)
+        else:  # ("error", shard_id, brief, worker_traceback)
+            _, _, brief, worker_tb = message
+            exc = ShardFailed(
+                f"solver worker failed: {brief}\n"
+                f"--- worker traceback ---\n{worker_tb}"
+            )
+            for request in shard.requests:
+                completions.append((request.future, None, exc))
+            self.stats.failed += len(shard.requests)
+
+    def _recover_workers_locked(self) -> None:
+        for i, worker in enumerate(self._workers):
+            if worker.process.is_alive():
+                continue
+            # a dead worker's in-flight shards are lost unless their
+            # results were already queued (then the pop above resolved
+            # them); resubmit the rest at the front of the shard queue
+            lost = [
+                shard
+                for shard_id, shard in worker.inflight.items()
+                if shard_id in self._inflight
+            ]
+            worker.inflight.clear()
+            for shard in reversed(lost):
+                del self._inflight[shard.shard_id]
+                shard.worker = None
+                self._shards.appendleft(shard)
+                self.stats.shards_resubmitted += 1
+            worker.process.join()  # reap
+            self.stats.worker_restarts += 1
+            self._workers[i] = self._spawn_worker()
+
+    # -- workers -------------------------------------------------------
+
+    def _spawn_worker(self) -> _Worker:
+        tasks = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_service_worker_main,
+            args=(tasks, self._results),
+            name=f"solver-service-worker-{next(self._worker_seq)}",
+            daemon=True,
+        )
+        process.start()
+        return _Worker(process, tasks)

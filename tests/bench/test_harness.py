@@ -64,8 +64,9 @@ def _runs(streamed_ms, eager_ms, raw_ms, pruned=100):
 
 class TestEngineBaseline:
     """The checked-in BENCH_engine.json baseline and the CI gate logic
-    around its quasi-guarded solver entries (schema v3: streamed vs
-    eager vs raw, plus the solve_many shard record)."""
+    around its quasi-guarded solver entries (schema v4: streamed vs
+    eager vs raw, the solve_many shard record, and the
+    service_throughput section owned by bench_solver_service.py)."""
 
     @pytest.fixture(scope="class")
     def payload(self):
@@ -73,7 +74,7 @@ class TestEngineBaseline:
 
     def test_schema_version(self, payload):
         bench = _bench_module()
-        assert payload["schema"] == "bench-engine/v3"
+        assert payload["schema"] == "bench-engine/v4"
         assert payload["schema"] == bench.SCHEMA_VERSION
         assert payload["benchmark"] == "benchmarks/bench_datalog_engine.py"
 
@@ -218,7 +219,7 @@ class TestBaselineDrift:
     checked-in BENCH_engine.json."""
 
     @staticmethod
-    def _payload(schema="bench-engine/v3", quick=True):
+    def _payload(schema="bench-engine/v4", quick=True):
         return {
             "schema": schema,
             "quick": quick,
@@ -277,6 +278,104 @@ class TestBaselineDrift:
             (REPO_ROOT / "BENCH_engine.json").read_text()
         )
         assert checked_in["schema"] == bench.SCHEMA_VERSION
+
+
+def _service_bench_module():
+    spec = importlib.util.spec_from_file_location(
+        "bench_solver_service",
+        REPO_ROOT / "benchmarks" / "bench_solver_service.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _service_record(
+    identical=True, p50=10.0, p95=40.0, speedup=3.5, applied=True, workers=4
+):
+    return {
+        "identical": identical,
+        "workers": workers,
+        "speedup": speedup,
+        "latency_ms": {"p50": p50, "p95": p95},
+        "gate": {"applied": applied, "required_speedup": 3.0},
+    }
+
+
+class TestServiceThroughput:
+    """The service_throughput section of BENCH_engine.json (owned by
+    bench_solver_service.py) and its CI gate logic."""
+
+    @pytest.fixture(scope="class")
+    def record(self):
+        payload = json.loads((REPO_ROOT / "BENCH_engine.json").read_text())
+        return payload["service_throughput"]
+
+    def test_harness_schemas_agree(self):
+        # both harnesses write sections of the same baseline file; a
+        # schema bump in one without the other silently forks them
+        assert (
+            _service_bench_module().ENGINE_SCHEMA
+            == _bench_module().SCHEMA_VERSION
+        )
+
+    def test_checked_in_record_shape(self, record):
+        assert record["identical"] is True
+        assert record["workers"] >= 2
+        assert record["requests"] > 0
+        assert record["serial_ms"] > 0
+        assert record["service_ms"] > 0
+        assert record["latency_ms"]["p50"] > 0
+        assert record["latency_ms"]["p95"] >= record["latency_ms"]["p50"]
+        assert set(record["traffic"]) == {"chain", "tree", "ladder"}
+        warm = record["warm_vs_cold"]
+        assert warm["warm_service_ms"] > 0
+        assert warm["cold_pool_ms"] > 0
+
+    def test_checked_in_record_passes_the_gate(self, record):
+        bench = _service_bench_module()
+        assert bench.check_service_contracts(record) == []
+
+    def test_gate_passes_on_good_record(self):
+        bench = _service_bench_module()
+        assert bench.check_service_contracts(_service_record()) == []
+
+    def test_gate_fails_on_answer_divergence(self):
+        bench = _service_bench_module()
+        failures = bench.check_service_contracts(
+            _service_record(identical=False)
+        )
+        assert any("differ" in f for f in failures)
+
+    def test_gate_fails_on_inverted_percentiles(self):
+        bench = _service_bench_module()
+        failures = bench.check_service_contracts(
+            _service_record(p50=40.0, p95=10.0)
+        )
+        assert any("p95" in f for f in failures)
+
+    def test_gate_fails_on_zero_p50(self):
+        bench = _service_bench_module()
+        failures = bench.check_service_contracts(_service_record(p50=0.0))
+        assert any("p50" in f for f in failures)
+
+    def test_gate_fails_below_3x_when_applied(self):
+        bench = _service_bench_module()
+        failures = bench.check_service_contracts(
+            _service_record(speedup=2.1)
+        )
+        assert any("below the required" in f for f in failures)
+
+    def test_speedup_recorded_but_not_gated_on_small_machines(self):
+        # a pool cannot beat a serial loop without cores to run on; on
+        # a 1-core runner the speedup is trend data, not a contract
+        bench = _service_bench_module()
+        assert (
+            bench.check_service_contracts(
+                _service_record(speedup=0.1, applied=False)
+            )
+            == []
+        )
 
 
 class TestLinearFit:

@@ -203,3 +203,132 @@ class TestGroundingCache:
 class TestDefaultCache:
     def test_default_cache_is_shared(self):
         assert default_cache() is default_cache()
+
+
+class TestThreadSafety:
+    """The PR 6 race-regression suite.
+
+    The solver service's scheduler/collector threads turned the
+    previously latent single-threaded assumptions of ``ProgramCache``
+    into real races: unlocked ``OrderedDict`` mutation, unaccounted
+    double builds, torn LRU state.  These tests fail under the
+    pre-lock implementation (no ``duplicate_builds`` accounting, and
+    the lookup/build ledger below does not balance) and must keep
+    passing under the locked one.
+    """
+
+    def test_concurrent_cold_lookups_balance_the_ledger(self):
+        import threading
+        import time
+
+        cache = ProgramCache()
+        build_calls = []
+        start = threading.Event()
+        keys = [("race", i) for i in range(4)]
+        threads_per_key = 5
+        returned = []
+
+        def build_for(key):
+            def build():
+                build_calls.append(key)
+                time.sleep(0.01)  # widen the miss->insert window
+                return ("entry", key)
+
+            return build
+
+        def worker(key):
+            start.wait()
+            for _ in range(10):
+                returned.append((key, cache._get_or_build(key, build_for(key))))
+
+        threads = [
+            threading.Thread(target=worker, args=(key,))
+            for key in keys
+            for _ in range(threads_per_key)
+        ]
+        for thread in threads:
+            thread.start()
+        start.set()
+        for thread in threads:
+            thread.join()
+
+        # every lookup observed exactly one winning entry per key
+        for key, entry in returned:
+            assert entry == ("entry", key)
+        assert len(cache) == len(keys)
+        # the ledger: every lookup is a hit or a miss ...
+        total = len(keys) * threads_per_key * 10
+        assert cache.stats.lookups == total
+        # ... and every build beyond one-per-key was detected, counted,
+        # and discarded (pre-lock: extra builds went unreported and
+        # this identity does not hold)
+        assert len(build_calls) == len(keys) + cache.stats.duplicate_builds
+        assert cache.stats.misses == len(build_calls)
+        assert cache.stats.hits == total - len(build_calls)
+
+    def test_concurrent_eviction_churn_keeps_the_cache_bounded(self):
+        import threading
+
+        cache = ProgramCache(maxsize=3)
+        start = threading.Event()
+        errors = []
+
+        def worker(seed):
+            start.wait()
+            try:
+                for i in range(200):
+                    key = ("churn", (seed * 7 + i) % 11)
+                    entry = cache._get_or_build(key, lambda k=key: ("e", k))
+                    assert entry == ("e", key)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,)) for seed in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        start.set()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 3
+        assert cache.stats.evictions > 0
+
+    def test_concurrent_solves_share_one_plan(self):
+        import threading
+
+        cache = ProgramCache()
+        start = threading.Event()
+        results = []
+
+        def worker(n):
+            start.wait()
+            results.append(
+                len(
+                    solve(
+                        parse_program(TC_TEXT),
+                        chain_db(n),
+                        backend="semi-naive",
+                        cache=cache,
+                    ).relation("path")
+                )
+            )
+
+        sizes = [4, 5, 6, 7]
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in sizes
+        ]
+        for thread in threads:
+            thread.start()
+        start.set()
+        for thread in threads:
+            thread.join()
+        assert sorted(results) == [n * (n - 1) // 2 for n in sizes]
+        # one program text: exactly one cached plan survives, and the
+        # stats ledger closes over all four solves
+        assert len(cache) == 1
+        assert cache.stats.lookups == len(sizes)
+        assert (
+            cache.stats.misses == 1 + cache.stats.duplicate_builds
+        )

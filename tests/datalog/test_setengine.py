@@ -317,3 +317,62 @@ class TestEngineAgreement:
         want = {t for t in full.relation("path") if t[0] == source}
         got = {t for t in goal.relation("path") if t[0] == source}
         assert got == want
+
+
+# ----------------------------------------------------------------------
+# copy_relation: bulk aliasing in interned-id space (the PR 6 fix for
+# the old tuple-at-a-time loop through add())
+# ----------------------------------------------------------------------
+
+
+class TestCopyRelation:
+    @staticmethod
+    def _db_with(predicate, facts):
+        db = SetDatabase()
+        for args in facts:
+            db.add(predicate, args)
+        return db
+
+    def test_copy_into_fresh_predicate(self):
+        db = self._db_with("src", [(1,), (2,), (3,)])
+        db.copy_relation("src", "dst")
+        assert db.relation("dst") == {(1,), (2,), (3,)}
+        # a copy, not an alias: growing dst must not grow src
+        db.add("dst", (9,))
+        assert db.relation("src") == {(1,), (2,), (3,)}
+
+    def test_copy_unions_into_existing_predicate(self):
+        db = self._db_with("src", [(1,), (2,)])
+        db.add("dst", (2,))
+        db.add("dst", (5,))
+        db.copy_relation("src", "dst")
+        assert db.relation("dst") == {(1,), (2,), (5,)}
+
+    def test_unary_bitset_is_ored_in_bulk(self):
+        db = self._db_with("src", [(1,), (3,)])
+        db.add("dst", (2,))
+        db.copy_relation("src", "dst")
+        assert db.bits("dst") == db.bits("src") | (1 << 2)
+        assert db.bits("dst") == 0b1110
+
+    def test_existing_dst_index_is_invalidated(self):
+        db = self._db_with("src", [(1, 2), (3, 4)])
+        db.add("dst", (5, 6))
+        stale = db.index_for("dst", (0,))
+        assert set(stale) == {5}
+        db.copy_relation("src", "dst")
+        rebuilt = db.index_for("dst", (0,))
+        assert set(rebuilt) == {1, 3, 5}
+
+    def test_binary_relation_copies_without_bits(self):
+        db = self._db_with("src", [(1, 2), (2, 3)])
+        db.copy_relation("src", "dst")
+        assert db.relation("dst") == {(1, 2), (2, 3)}
+        assert db.bits("dst") == 0  # bitsets are unary-only
+
+    def test_empty_source_is_a_no_op(self):
+        db = SetDatabase()
+        db.add("dst", (7,))
+        db.copy_relation("missing", "dst")
+        assert db.relation("dst") == {(7,)}
+        assert db.relation("missing") == set()
