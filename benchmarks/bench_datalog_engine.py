@@ -371,7 +371,7 @@ def run_comparison(quick, repeat=3):
 # eager interned ablation vs raw values -- on chain/grid/tree families.
 # ----------------------------------------------------------------------
 
-SCHEMA_VERSION = "bench-engine/v4"
+SCHEMA_VERSION = "bench-engine/v5"
 
 SOLVER_BACKENDS = [
     "quasi-guarded",
@@ -811,14 +811,16 @@ def build_payload(
     solve_many_results,
     quick,
     service_throughput=None,
+    service_resilience=None,
 ):
     """The machine-readable perf trajectory consumed by later PRs.
 
     ``solver_speedups`` records the eager-vs-streamed grounding ratio;
-    the v4 tentpole section, ``service_throughput``, is *owned* by
-    ``bench_solver_service.py`` -- this harness carries the checked-in
-    record through unchanged so the two benchmarks can regenerate the
-    baseline in either order."""
+    the service sections -- ``service_throughput`` (v4) and
+    ``service_resilience`` (v5, the fault-injection goodput record) --
+    are *owned* by ``bench_solver_service.py``; this harness carries
+    the checked-in records through unchanged so the benchmarks can
+    regenerate the baseline in either order."""
     payload = {
         "schema": SCHEMA_VERSION,
         "benchmark": "benchmarks/bench_datalog_engine.py",
@@ -856,6 +858,8 @@ def build_payload(
     }
     if service_throughput is not None:
         payload["service_throughput"] = service_throughput
+    if service_resilience is not None:
+        payload["service_resilience"] = service_resilience
     return payload
 
 
@@ -929,6 +933,11 @@ def main(argv=None) -> int:
         args.quick,
         service_throughput=(
             previous.get("service_throughput")
+            if previous is not None
+            else None
+        ),
+        service_resilience=(
+            previous.get("service_resilience")
             if previous is not None
             else None
         ),

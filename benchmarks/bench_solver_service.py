@@ -17,7 +17,7 @@ Frochaux-Schweikardt unranked-tree workloads in PAPERS.md motivate):
   here, never on the request path.
 
 Measured, and recorded as ``service_throughput`` in
-``BENCH_engine.json`` (schema ``bench-engine/v4``):
+``BENCH_engine.json`` (schema ``bench-engine/v5``):
 
 1. **serial**: the in-process loop over the whole traffic (the
    baseline the service must beat);
@@ -42,6 +42,17 @@ Contracts (CI-gated):
 
 Run ``python benchmarks/bench_solver_service.py [--quick]``; ``--quick``
 is the CI smoke test.
+
+``--faults`` switches the harness to the **resilience** mode (the v5
+tentpole): the same width-1 traffic is run once clean and once with
+``crash@worker.solve+1`` injected (every worker's second solve kills
+it), and the ``service_resilience`` section records goodput under
+failure (clean vs faulty wall-clock), recovery latency percentiles
+(from ``ServiceStats.recovery_ms``), and the crash-recovery scheduler
+counters.  CI-gated contracts: the answers under injected crashes are
+identical to the serial in-process loop (the 1-vs-N identity gate,
+now under fire), no request fails, the fault plan demonstrably fired
+(>= 1 worker restart), and the recovery percentiles are sane.
 """
 
 import argparse
@@ -62,12 +73,19 @@ BENCH_JSON = REPO_ROOT / "BENCH_engine.json"
 
 #: must match bench_datalog_engine.SCHEMA_VERSION -- both harnesses
 #: write sections of the same baseline file
-ENGINE_SCHEMA = "bench-engine/v4"
+ENGINE_SCHEMA = "bench-engine/v5"
 
 #: the acceptance gate: at >= GATE_WORKERS workers on >= GATE_WORKERS
 #: cores, the service must clear GATE_SPEEDUP x the serial loop
 GATE_WORKERS = 4
 GATE_SPEEDUP = 3.0
+
+#: the fault recipe of the resilience mode: every worker's second
+#: solve crashes it (``+1``: the respawned replacement's first solve
+#: passes, so the pool always makes progress and the batch converges
+#: within the retry cap)
+RESILIENCE_FAULTS = "crash@worker.solve+1"
+RESILIENCE_RETRIES = 8
 
 
 # ----------------------------------------------------------------------
@@ -283,6 +301,161 @@ def effective_cpus():
 
 
 # ----------------------------------------------------------------------
+# Resilience mode (--faults): goodput under injected worker crashes
+# ----------------------------------------------------------------------
+
+
+def build_width1_solver():
+    """Just the width-1 program: the resilience mode skips the
+    expensive width-2 ladder compile it does not use."""
+    from repro.core import CourcelleSolver, undirected_graph_filter
+    from repro.mso import formulas
+    from repro.structures import GRAPH_SIGNATURE
+
+    return CourcelleSolver(
+        formulas.has_neighbor("x"),
+        GRAPH_SIGNATURE,
+        width=1,
+        free_var="x",
+        structure_filter=undirected_graph_filter,
+    )
+
+
+def build_resilience_traffic(quick, seed=0xFA17):
+    """Width-1 chain/tree structures for the clean-vs-faulty runs."""
+    from repro.problems import random_tree_graph
+    from repro.structures import Graph, graph_to_structure
+
+    rng = random.Random(seed)
+    if quick:
+        chain_sizes, trees, tree_n = (40, 60, 80, 50, 70, 90), 4, 40
+    else:
+        chain_sizes, trees, tree_n = (
+            (60, 90, 120, 80, 100, 140, 70, 110),
+            8,
+            60,
+        )
+    structures = [graph_to_structure(Graph.path(n)) for n in chain_sizes]
+    structures += [
+        graph_to_structure(random_tree_graph(rng, tree_n))
+        for _ in range(trees)
+    ]
+    return structures
+
+
+def run_resilience(solver, structures, workers, faults):
+    """One pass of the traffic through a service; ``faults=None`` is
+    the clean control run.  Both runs start cold (fresh pool, first
+    program load inside the timed region) so clean-vs-faulty measures
+    the same pipeline with and without crashes.  Returns
+    (ms, results, stats)."""
+    from repro.service import SolverService
+
+    with SolverService(
+        workers=workers,
+        max_shard=4,
+        faults=faults,
+        max_retries=RESILIENCE_RETRIES,
+        retry_backoff=0.01,
+    ) as service:
+        handle = service.register(solver)
+        t0 = time.perf_counter()
+        results = handle.solve_many(structures, timeout=600)
+        ms = (time.perf_counter() - t0) * 1000.0
+        stats = service.stats
+    return ms, results, stats
+
+
+def build_resilience_record(quick, workers):
+    solver = build_width1_solver()
+    structures = build_resilience_traffic(quick)
+    t0 = time.perf_counter()
+    serial_results = [solver.query(s) for s in structures]
+    serial_ms = (time.perf_counter() - t0) * 1000.0
+    clean_ms, clean_results, _clean_stats = run_resilience(
+        solver, structures, workers, None
+    )
+    faulty_ms, faulty_results, stats = run_resilience(
+        solver, structures, workers, RESILIENCE_FAULTS
+    )
+    recovery = sorted(stats.recovery_ms)
+    n = len(structures)
+    return {
+        "schema_note": "service_resilience section of " + ENGINE_SCHEMA,
+        "quick": quick,
+        "workers": workers,
+        "cpu_count": effective_cpus(),
+        "requests": n,
+        "fault_plan": RESILIENCE_FAULTS,
+        "max_retries": RESILIENCE_RETRIES,
+        "serial_ms": round(serial_ms, 3),
+        "clean_ms": round(clean_ms, 3),
+        "faulty_ms": round(faulty_ms, 3),
+        "goodput": {
+            "clean_solves_per_sec": round(n / (clean_ms / 1000.0), 2),
+            "faulty_solves_per_sec": round(n / (faulty_ms / 1000.0), 2),
+            "degradation": (
+                round(faulty_ms / clean_ms, 2) if clean_ms else None
+            ),
+        },
+        "recovery_ms": {
+            "count": len(recovery),
+            "p50": round(percentile(recovery, 0.50), 3),
+            "p95": round(percentile(recovery, 0.95), 3),
+        },
+        "scheduler": {
+            "worker_restarts": stats.worker_restarts,
+            "shards_resubmitted": stats.shards_resubmitted,
+            "retries": stats.retries,
+            "completed": stats.completed,
+            "failed": stats.failed,
+            "poisoned": stats.poisoned,
+        },
+        "identical": faulty_results == serial_results
+        and clean_results == serial_results,
+    }
+
+
+def check_resilience_contracts(record):
+    """The CI gate over a ``service_resilience`` record; pure, so the
+    test suite exercises it on synthetic records.
+
+    All four contracts are unconditional: identity under fire (answers
+    with crashes injected match the serial loop), zero failed or
+    poisoned requests (the retry cap absorbs every injected crash),
+    proof the plan fired (>= 1 worker restart and >= 1 recovered
+    shard), and sane recovery percentiles.
+    """
+    failures = []
+    if not record.get("identical"):
+        failures.append(
+            "answers under injected crashes differ from the serial loop"
+        )
+    scheduler = record.get("scheduler", {})
+    if scheduler.get("failed", 1) or scheduler.get("poisoned", 1):
+        failures.append(
+            f"requests lost under injected crashes: "
+            f"failed={scheduler.get('failed')} "
+            f"poisoned={scheduler.get('poisoned')}"
+        )
+    if not scheduler.get("worker_restarts"):
+        failures.append(
+            "no worker restarts recorded -- the fault plan never fired"
+        )
+    recovery = record.get("recovery_ms", {})
+    if not recovery.get("count"):
+        failures.append("no recovered shards recorded recovery latency")
+    elif not recovery.get("p50", 0) > 0:
+        failures.append("recovery latency p50 must be positive")
+    elif recovery.get("p95", 0) < recovery.get("p50", 0):
+        failures.append(
+            f"recovery p95 ({recovery.get('p95')}) below "
+            f"p50 ({recovery.get('p50')})"
+        )
+    return failures
+
+
+# ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
 
@@ -338,6 +511,14 @@ def main(argv=None) -> int:
         help="smaller traffic (the CI smoke test)",
     )
     parser.add_argument(
+        "--faults",
+        action="store_true",
+        help=(
+            "resilience mode: run the traffic clean and with "
+            f"{RESILIENCE_FAULTS!r} injected, record service_resilience"
+        ),
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=GATE_WORKERS,
@@ -380,6 +561,53 @@ def main(argv=None) -> int:
         for failure in failures:
             print(f"  - {failure}")
         return 1
+
+    if args.faults:
+        record = build_resilience_record(args.quick, args.workers)
+        failures = check_resilience_contracts(record)
+        goodput = record["goodput"]
+        recovery = record["recovery_ms"]
+        scheduler = record["scheduler"]
+        print("solver service resilience (injected worker crashes)")
+        print(
+            f"  requests:      {record['requests']} width-1 chain/tree, "
+            f"{record['workers']} workers, faults {record['fault_plan']!r}"
+        )
+        print(
+            f"  clean:         {record['clean_ms']:.0f} ms "
+            f"({goodput['clean_solves_per_sec']} solves/s)"
+        )
+        print(
+            f"  under faults:  {record['faulty_ms']:.0f} ms "
+            f"({goodput['faulty_solves_per_sec']} solves/s, "
+            f"{goodput['degradation']}x slower)"
+        )
+        print(
+            f"  recovery:      {recovery['count']} shards, "
+            f"p50 {recovery['p50']:.0f} ms, p95 {recovery['p95']:.0f} ms"
+        )
+        print(
+            f"  scheduler:     {scheduler['worker_restarts']} restarts, "
+            f"{scheduler['shards_resubmitted']} shards resubmitted, "
+            f"{scheduler['retries']} retries, "
+            f"{scheduler['failed']} failed, "
+            f"{scheduler['poisoned']} poisoned"
+        )
+        baseline["service_resilience"] = record
+        args.out.write_text(
+            json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"\nupdated {args.out} (service_resilience)")
+        if failures:
+            print("\nCONTRACT VIOLATIONS:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(
+            "\nok: answers identical to the serial loop under injected "
+            "crashes; nothing failed or poisoned; recovery latency sane"
+        )
+        return 0
 
     record = build_record(args.quick, args.workers, args.max_shard)
     failures = check_service_contracts(record)

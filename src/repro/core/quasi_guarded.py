@@ -37,6 +37,7 @@ from __future__ import annotations
 
 from ..datalog.ast import Program
 from ..datalog.backends import ProgramCache, default_cache
+from ..datalog.budget import as_meter
 from ..datalog.builtins import BuiltinRegistry
 from ..datalog.evaluate import Database
 from ..datalog.grounding import (
@@ -223,8 +224,18 @@ class QuasiGuardedEvaluator:
             )
 
     def evaluate(
-        self, data: Structure | Database | SetDatabase
+        self, data: Structure | Database | SetDatabase, budget=None
     ) -> QuasiGuardedResult:
+        """Evaluate over one structure/database.
+
+        ``budget`` -- a :class:`~repro.datalog.budget.SolveBudget` (armed
+        here) or an already-armed
+        :class:`~repro.datalog.budget.BudgetMeter` (so one clock can
+        span decompose -> encode -> solve) -- makes the grounding and
+        propagation loops raise
+        :class:`~repro.datalog.budget.BudgetExceeded` cooperatively
+        instead of running away on a pathological input."""
+        meter = as_meter(budget)
         stats = GroundingStats()
         if self.mode == "raw":
             rules = ground_program(
@@ -233,6 +244,7 @@ class QuasiGuardedEvaluator:
                 registry=self.registry,
                 stats=stats,
                 prepared=self._prepared,
+                meter=meter,
             )
             facts = frozenset(horn_least_model(rules))
             return QuasiGuardedResult(
@@ -247,11 +259,18 @@ class QuasiGuardedEvaluator:
         )
         pool = InternPool(sdb.interner)
         if self.mode == "eager":
-            rules = ground_program_ids(self._prepared, sdb, pool, stats)
+            rules = ground_program_ids(
+                self._prepared, sdb, pool, stats, meter=meter
+            )
             flags = horn_least_model_ids(rules, len(pool))
         else:
             sink = ground_program_streamed(
-                self._prepared, sdb, pool, stats=stats, relevant=self._relevant
+                self._prepared,
+                sdb,
+                pool,
+                stats=stats,
+                relevant=self._relevant,
+                meter=meter,
             )
             flags = sink.flags(len(pool))
         return QuasiGuardedResult(

@@ -228,9 +228,18 @@ class CourcelleSolver:
         return len(structure.domain) < self.compiled.width + 1
 
     def decide(
-        self, structure: Structure, td: TreeDecomposition | None = None
+        self,
+        structure: Structure,
+        td: TreeDecomposition | None = None,
+        budget=None,
     ) -> bool:
-        """Evaluate a compiled *sentence* on a structure."""
+        """Evaluate a compiled *sentence* on a structure.
+
+        ``budget`` (a :class:`repro.datalog.SolveBudget`) makes the
+        quasi-guarded fixpoint loops raise
+        :class:`repro.datalog.BudgetExceeded` cooperatively instead of
+        running away; the O(1) small-structure path and the bottom-up
+        ablation backends ignore it."""
         if not self.compiled.is_sentence:
             raise ValueError("compiled query is unary; use .query()")
         if self._too_small(structure):
@@ -240,13 +249,18 @@ class CourcelleSolver:
         encoded = self._prepare(structure, td)
         if self._backend is not None:
             return () in self._backend_answers(encoded)
-        result = self.evaluator.evaluate(encoded)
+        result = self.evaluator.evaluate(encoded, budget=budget)
         return result.holds(ANSWER_PREDICATE)
 
     def query(
-        self, structure: Structure, td: TreeDecomposition | None = None
+        self,
+        structure: Structure,
+        td: TreeDecomposition | None = None,
+        budget=None,
     ) -> frozenset[Element]:
-        """Evaluate a compiled *unary query*: the set of answers."""
+        """Evaluate a compiled *unary query*: the set of answers.
+
+        ``budget`` behaves as in :meth:`decide`."""
         if self.compiled.is_sentence:
             raise ValueError("compiled query is a sentence; use .decide()")
         if self._too_small(structure):
@@ -260,7 +274,7 @@ class CourcelleSolver:
             return frozenset(
                 args[0] for args in self._backend_answers(encoded)
             )
-        result = self.evaluator.evaluate(encoded)
+        result = self.evaluator.evaluate(encoded, budget=budget)
         return result.unary_answers(ANSWER_PREDICATE)
 
     def solve_many(
@@ -328,6 +342,42 @@ class CourcelleSolver:
             return pool.map(
                 _solve_many_task, list(zip(structures, tds)), chunksize
             )
+
+    def with_backend(self, backend: str) -> "CourcelleSolver":
+        """A sibling solver over the *same* compiled program.
+
+        The clone shares ``compiled`` (and the cache), so no
+        recompilation happens -- only the evaluation wiring differs.
+        This is the service layer's budget-fallback route: e.g. retry a
+        ``BudgetExceeded`` streamed solve on the eager pipeline.  The
+        quasi-guardedness check is trusted from this solver's own
+        construction."""
+        if backend == self.backend_name:
+            return self
+        clone = object.__new__(CourcelleSolver)
+        clone._formula = self._formula
+        clone.compiled = self.compiled
+        clone.backend_name = backend
+        clone.cache = self.cache
+        if backend in _QG_MODES and self.evaluator is not None:
+            clone._wire_backend(
+                prepared=self.evaluator._prepared,
+                relevant=(
+                    self.evaluator._relevant
+                    if _QG_MODES[backend] == "streamed"
+                    else None
+                ),
+            )
+        else:
+            clone._wire_backend(
+                prepared=self.cache.grounding(
+                    self.compiled.program,
+                    self.evaluator.registry if self.evaluator else None,
+                )
+                if backend in _QG_MODES
+                else None,
+            )
+        return clone
 
     def compiled_formula(self) -> Formula:
         return self._formula

@@ -229,15 +229,18 @@ def ground_program(
     registry: BuiltinRegistry | None = None,
     stats: GroundingStats | None = None,
     prepared: PreparedGrounding | None = None,
+    meter=None,
 ) -> list[GroundRule]:
     """All supported ground instances, as propositional Horn rules.
 
     The raw-value form: propositional atoms are
     :class:`repro.structures.structure.Fact` values of the intensional
     predicates.  ``prepared`` (from :func:`prepare_grounding`) skips
-    re-ordering the rule bodies.  The production solve path uses the
-    interned form (:func:`ground_program_ids`) instead; this one is the
-    ablation baseline and the readable-output API.
+    re-ordering the rule bodies.  ``meter`` (a
+    :class:`repro.datalog.budget.BudgetMeter`) is checked once per
+    program rule.  The production solve path uses the interned form
+    (:func:`ground_program_ids`) instead; this one is the ablation
+    baseline and the readable-output API.
     """
     if isinstance(db, Structure):
         db = Database.from_structure(db)
@@ -250,6 +253,8 @@ def ground_program(
     for rule, (ordered, idb_literals) in zip(
         prepared.program.rules, prepared.plans
     ):
+        if meter is not None:
+            meter.check(stats.ground_rules)
         columns, length = _instantiate_batch(
             ordered, db, registry, stats
         )
@@ -507,6 +512,7 @@ def ground_program_ids(
     db: SetDatabase,
     pool: InternPool,
     stats: GroundingStats | None = None,
+    meter=None,
 ) -> list[tuple[int, tuple[int, ...]]]:
     """All supported ground instances, as ``(head_id, body_ids)`` pairs.
 
@@ -515,7 +521,9 @@ def ground_program_ids(
     interner) assigns dense ids to the ground intensional atoms, and
     the returned rules are pure integers -- ready for
     :func:`repro.datalog.horn.horn_least_model_ids` with no raw-value
-    tuple crossing the boundary.
+    tuple crossing the boundary.  ``meter`` (a
+    :class:`repro.datalog.budget.BudgetMeter`) is checked once per
+    program rule.
     """
     if pool.interner is not db.interner:
         raise ValueError(
@@ -530,6 +538,8 @@ def ground_program_ids(
     for rule, (ordered, idb_literals) in zip(
         prepared.program.rules, prepared.plans
     ):
+        if meter is not None:
+            meter.check(stats.ground_rules)
         columns, length = _instantiate_batch_ids(ordered, db, registry, stats)
         if not length:
             continue
@@ -1398,6 +1408,7 @@ def ground_program_streamed(
     stats: GroundingStats | None = None,
     demand=None,
     relevant: frozenset[str] | None = None,
+    meter=None,
 ) -> StreamingHorn:
     """Stream demand-pruned ground instances into an online LTUR.
 
@@ -1418,6 +1429,13 @@ def ground_program_streamed(
     the same program over many structures should resolve the demand
     once via :func:`resolve_demand` and pass ``relevant=`` instead of
     re-deriving it per solve.
+
+    ``meter`` (a :class:`repro.datalog.budget.BudgetMeter`) makes the
+    fixpoint loop budget-cooperative: the caps are checked once per
+    demand round (and, via the sink, every few thousand derivations
+    inside a round), raising
+    :class:`~repro.datalog.budget.BudgetExceeded` instead of letting a
+    pathological structure run the process away.
     """
     if pool.interner is not db.interner:
         raise ValueError(
@@ -1426,6 +1444,9 @@ def ground_program_streamed(
         )
     sink = sink if sink is not None else StreamingHorn()
     stats = stats if stats is not None else GroundingStats()
+    if meter is not None:
+        sink.meter = meter
+        meter.check(stats.ground_rules)
     if relevant is None:
         relevant = resolve_demand(prepared.program, demand, prepared.registry)
 
@@ -1454,6 +1475,8 @@ def ground_program_streamed(
     take_fresh = sink.take_fresh
     get_driven = driven.get
     while True:
+        if meter is not None:
+            meter.check(stats.ground_rules)
         fresh = take_fresh()
         if not fresh:
             break

@@ -198,10 +198,21 @@ class StreamingHorn:
     :meth:`take_fresh` hands them to the producer, which instantiates
     the rules they newly support (the demand loop of the streamed
     grounder).
+
+    ``meter`` (a :class:`repro.datalog.budget.BudgetMeter`, attached by
+    the producer) makes the propagation loop budget-cooperative: the
+    time/memory caps are checked every :data:`_METER_STRIDE` derived
+    atoms, so a derivation cascade inside one grounding round cannot
+    run away unchecked between the producer's per-round checkpoints.
     """
 
     #: counter sentinel for evicted rules: can never be decremented to 0
     _KILLED = 1 << 60
+
+    #: budget checkpoint stride inside the propagation loop -- cheap
+    #: enough to leave always-on, frequent enough that one round's
+    #: derivation cascade stays bounded
+    _METER_STRIDE = 2048
 
     __slots__ = (
         "_derived",
@@ -215,6 +226,7 @@ class StreamingHorn:
         "rules_dropped",
         "live_rules",
         "peak_live_rules",
+        "meter",
     )
 
     def __init__(self, atom_capacity: int = 0):
@@ -229,6 +241,8 @@ class StreamingHorn:
         self.rules_dropped = 0
         self.live_rules = 0
         self.peak_live_rules = 0
+        #: optional BudgetMeter checked inside the propagation loop
+        self.meter = None
 
     def is_derived(self, atom_id: int) -> bool:
         derived = self._derived
@@ -271,6 +285,8 @@ class StreamingHorn:
         counters = self._counters
         heads = self._heads
         killed = self._KILLED
+        meter = self.meter
+        stride = self._METER_STRIDE
         stack = [atom_id]
         while stack:
             current = stack.pop()
@@ -278,6 +294,8 @@ class StreamingHorn:
                 continue
             derived[current] = 1
             self.derived_count += 1
+            if meter is not None and not self.derived_count % stride:
+                meter.check()
             fresh.append(current)
             # parked rules with this head can no longer contribute:
             # evict them from the live frontier (their waiting-list

@@ -11,27 +11,48 @@ batch scheduler that coalesces individual solve requests per compiled
 program into shards, dispatches them to idle workers, and resolves one
 future per request in input order.
 
-See ``README.md`` in this directory for the architecture and
-``benchmarks/bench_solver_service.py`` for the throughput harness that
-CI gates (``service_throughput`` in ``BENCH_engine.json``).
+The serving layer is fault-tolerant: per-request deadlines
+(:class:`DeadlineExceeded`), capped retries with exponential backoff
+and shard splitting, poison-input quarantine (:class:`PoisonInput`),
+cooperative solve budgets with an optional fallback backend
+(:class:`repro.datalog.SolveBudget` /
+:class:`repro.datalog.BudgetExceeded`), and a deterministic
+fault-injection harness (:mod:`repro.service.faults`, the
+``REPRO_SERVICE_FAULTS`` variable).  See the "Failure semantics"
+section of ``README.md`` in this directory for the contract, and
+``benchmarks/bench_solver_service.py`` for the throughput + resilience
+harness that CI gates (``service_throughput`` / ``service_resilience``
+in ``BENCH_engine.json``).
 """
 
+from .faults import FAULTS_ENV, FaultPlan, FaultSpec
 from .service import (
+    DeadlineExceeded,
+    PoisonInput,
     ProgramHandle,
+    QuarantineRecord,
     ServiceClosed,
     ServiceSaturated,
     ServiceStats,
     ShardFailed,
     SolverService,
     coalesce,
+    structure_fingerprint,
 )
 
 __all__ = [
+    "DeadlineExceeded",
+    "FAULTS_ENV",
+    "FaultPlan",
+    "FaultSpec",
+    "PoisonInput",
     "ProgramHandle",
+    "QuarantineRecord",
     "ServiceClosed",
     "ServiceSaturated",
     "ServiceStats",
     "ShardFailed",
     "SolverService",
     "coalesce",
+    "structure_fingerprint",
 ]

@@ -26,10 +26,41 @@ promises.  :class:`SolverService` keeps the pool alive:
 * **Graceful shutdown.**  ``shutdown(drain=True)`` stops intake,
   drains the queue and all in-flight shards, then stops the workers;
   ``drain=False`` cancels queued requests and abandons in-flight work.
-* **Crash recovery.**  A worker that dies mid-shard (OOM-killed,
-  segfaulted C extension, ``os._exit``) is detected by the result
-  collector, replaced with a fresh process, and its lost shards are
-  resubmitted -- the futures of a crashed shard still resolve.
+  Workers that ignore the stop message are escalated ``terminate()``
+  -> ``kill()`` after ``shutdown_grace`` so a hung solve can never
+  leak a process silently.
+* **Fault tolerance.**  The paper's linear-time guarantee holds *for
+  structures of bounded treewidth*; a service facing arbitrary inputs
+  must survive requests that blow time, memory, or the worker itself:
+
+  - a worker that dies mid-shard (OOM-killed, segfaulted C extension,
+    ``os._exit``) is detected by the result collector, replaced, and
+    its lost shards are **retried with exponential backoff** -- at most
+    ``max_retries`` attempts per request, multi-request shards split
+    into singletons on retry so one bad structure cannot re-kill its
+    shard-mates' attempts;
+  - a request that crashed its worker ``max_retries`` times fails with
+    :class:`PoisonInput` (structure fingerprint + crash history
+    attached) and is **fingerprint-quarantined**: repeat submissions
+    fail fast without touching a worker, until
+    :meth:`SolverService.evict_quarantine`;
+  - per-request ``timeout=``/``deadline=`` fail expired requests with
+    :class:`DeadlineExceeded` at (or instead of) dispatch, and a worker
+    whose whole in-flight shard is past its deadlines is killed and
+    counted (``workers_killed_overdue``) -- the backstop that also
+    recovers hung solves and dropped results;
+  - a service-wide :class:`repro.datalog.SolveBudget` makes the
+    quasi-guarded fixpoint loops raise
+    :class:`repro.datalog.BudgetExceeded` *cooperatively* (the worker
+    survives, its warm cache intact); ``fallback_backend`` optionally
+    reroutes over-budget solves to a sibling pipeline (e.g. streamed
+    -> eager) instead of failing them;
+  - all of it is testable on demand through
+    :mod:`repro.service.faults` -- deterministic crash / slow / drop /
+    stall injection at named sites.
+
+  The long-form contract lives in the package README's "Failure
+  semantics" section.
 
 Thread-safety note: the scheduler and collector are threads inside the
 submitting process, which is exactly what turned the previously latent
@@ -41,29 +72,40 @@ must not block.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import multiprocessing
+import os
 import pickle
-import queue as queue_module
 import threading
 import time
 import traceback
+from multiprocessing.connection import wait as _pipe_wait
 from collections import deque
 from concurrent.futures import Future
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from ..core.solver import default_worker_count
-from ..datalog.backends import program_fingerprint
+from ..core.solver import _QG_MODES, default_worker_count
+from ..datalog.backends import available_backends, program_fingerprint
+from ..datalog.budget import BudgetExceeded, SolveBudget
+from .faults import FaultPlan
 
 __all__ = [
+    "DeadlineExceeded",
+    "PoisonInput",
     "ProgramHandle",
+    "QuarantineRecord",
     "ServiceClosed",
     "ServiceSaturated",
     "ServiceStats",
     "ShardFailed",
     "SolverService",
     "coalesce",
+    "structure_fingerprint",
 ]
+
+#: exit code of a fault-injected worker crash (``crash@worker.solve``)
+FAULT_CRASH_EXIT = 43
 
 
 class ServiceClosed(RuntimeError):
@@ -76,8 +118,80 @@ class ServiceSaturated(RuntimeError):
 
 
 class ShardFailed(RuntimeError):
-    """A worker raised while solving a shard; carries the worker-side
-    traceback.  Set as the exception of every future in the shard."""
+    """A worker raised while solving a request; carries the worker-side
+    traceback plus the structure fingerprint and program key, so a
+    failed request is diagnosable from the caller side alone."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        fingerprint: str | None = None,
+        program_key: str | None = None,
+    ):
+        super().__init__(message)
+        self.fingerprint = fingerprint
+        self.program_key = program_key
+
+
+class DeadlineExceeded(RuntimeError):
+    """A request's deadline passed before a worker could finish it.
+
+    Raised on the request's future -- at submit time (deadline already
+    past), at dispatch time (expired while queued), or by the
+    collector's expiry tick (expired while waiting / in flight)."""
+
+
+class PoisonInput(RuntimeError):
+    """A request's structure crashed its worker ``max_retries`` times.
+
+    ``fingerprint`` identifies the structure
+    (:func:`structure_fingerprint`), ``program_key`` the registered
+    program it was solved under, ``crashes`` how many workers it took
+    down, and ``history`` the crash log.  The fingerprint is
+    quarantined: repeat submissions fail fast with this same exception
+    until :meth:`SolverService.evict_quarantine`."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        fingerprint: str,
+        program_key: str | None = None,
+        crashes: int = 0,
+        history: tuple[str, ...] = (),
+    ):
+        super().__init__(message)
+        self.fingerprint = fingerprint
+        self.program_key = program_key
+        self.crashes = crashes
+        self.history = history
+
+
+def structure_fingerprint(structure) -> str:
+    """A stable hex fingerprint of a structure's content.
+
+    Hashes the signature, domain, and fact set -- two structurally
+    equal structures fingerprint alike, so a quarantined poison input
+    is recognized however it is resubmitted.  Arbitrary (non-Structure)
+    objects degrade to a type + ``repr`` hash rather than failing: the
+    fingerprint is diagnostic metadata and must never be the thing
+    that throws."""
+    hasher = hashlib.sha256()
+    try:
+        hasher.update(str(structure.signature).encode())
+        for element in sorted(structure.domain, key=repr):
+            hasher.update(repr(element).encode())
+        for fact in structure.facts():
+            hasher.update(repr(fact).encode())
+    except Exception:
+        hasher = hashlib.sha256()
+        hasher.update(type(structure).__name__.encode())
+        try:
+            hasher.update(repr(structure)[:4096].encode())
+        except Exception:  # pragma: no cover - repr() itself raised
+            pass
+    return hasher.hexdigest()[:16]
 
 
 @dataclass
@@ -92,29 +206,86 @@ class ServiceStats:
     shards_resubmitted: int = 0
     worker_restarts: int = 0
     peak_queue_depth: int = 0
+    #: requests failed with :class:`DeadlineExceeded`
+    deadline_expired: int = 0
+    #: requests re-attempted after their worker crashed
+    retries: int = 0
+    #: requests failed with :class:`PoisonInput` (first time each)
+    poisoned: int = 0
+    #: submissions fast-failed because their fingerprint is quarantined
+    quarantine_rejections: int = 0
+    #: current quarantine population
+    quarantine_size: int = 0
+    #: requests failed with :class:`repro.datalog.BudgetExceeded`
+    budget_exceeded: int = 0
+    #: over-budget requests answered by the fallback backend
+    fallback_solves: int = 0
+    #: terminate()/kill() escalations during shutdown
+    shutdown_escalations: int = 0
+    #: workers killed because their whole shard was past its deadlines
+    workers_killed_overdue: int = 0
+    #: crash-to-result latency of each resubmitted shard, milliseconds
+    recovery_ms: list = field(default_factory=list)
+
+
+@dataclass
+class QuarantineRecord:
+    """One quarantined poison input, as reported by
+    :meth:`SolverService.quarantined`."""
+
+    fingerprint: str
+    program_key: str
+    crashes: int
+    history: tuple[str, ...]
+    #: submissions fast-failed against this record since quarantine
+    rejections: int = 0
 
 
 class _Request:
-    """One queued solve: a structure (plus optional decomposition) and
-    the future its answer resolves."""
+    """One queued solve: a structure (plus optional decomposition), the
+    future its answer resolves, and its fault-tolerance state."""
 
-    __slots__ = ("structure", "td", "future")
+    __slots__ = ("structure", "td", "future", "deadline", "crashes", "history", "_fp")
 
-    def __init__(self, structure, td, future: Future):
+    def __init__(self, structure, td, future: Future, deadline: float | None):
         self.structure = structure
         self.td = td
         self.future = future
+        #: absolute ``time.monotonic()`` deadline, or None
+        self.deadline = deadline
+        #: how many workers died while this request was in flight
+        self.crashes = 0
+        #: human-readable crash log (becomes ``PoisonInput.history``)
+        self.history: list[str] = []
+        self._fp: str | None = None
+
+    @property
+    def fingerprint(self) -> str:
+        fp = self._fp
+        if fp is None:
+            fp = self._fp = structure_fingerprint(self.structure)
+        return fp
 
 
 class _Shard:
     """A dispatchable unit: consecutive requests of one program.
 
     ``dispatched`` flips on first hand-off to a worker; a crash
-    resubmission re-sends the same shard object (same ``shard_id``,
-    futures already in the running state) to a fresh worker.
+    resubmission re-sends a shard object (same futures, already in the
+    running state) to a fresh worker, no earlier than ``not_before``
+    (the retry backoff) and with ``resubmitted_at`` stamped so the
+    collector can measure crash-to-result recovery latency.
     """
 
-    __slots__ = ("shard_id", "key", "requests", "dispatched", "worker")
+    __slots__ = (
+        "shard_id",
+        "key",
+        "requests",
+        "dispatched",
+        "worker",
+        "not_before",
+        "resubmitted_at",
+    )
 
     def __init__(self, shard_id: int, key: str, requests: list[_Request]):
         self.shard_id = shard_id
@@ -122,31 +293,95 @@ class _Shard:
         self.requests = requests
         self.dispatched = False
         self.worker: "_Worker | None" = None
+        self.not_before = 0.0
+        self.resubmitted_at: float | None = None
 
 
 class _Worker:
-    """A worker process plus its task queue and parent-side book-keeping
-    (which programs it has loaded, which shards it is running)."""
+    """A worker process plus its task queue, its private result pipe,
+    and parent-side book-keeping (which programs it has loaded, which
+    shards it is running).
 
-    __slots__ = ("process", "tasks", "loaded", "inflight")
+    Results come back over a **per-worker pipe**, not a shared queue:
+    a shared ``multiprocessing.Queue`` serializes every ``put`` through
+    one cross-process semaphore, and a worker dying mid-``put`` (a real
+    crash can land anywhere) leaves that semaphore acquired forever --
+    wedging every *surviving* worker's results.  With one pipe per
+    worker there is no cross-process lock at all; a crash can only
+    corrupt the dead worker's own pipe, which its replacement does not
+    share."""
 
-    def __init__(self, process, tasks):
+    __slots__ = (
+        "process",
+        "tasks",
+        "results",
+        "loaded",
+        "inflight",
+        "overdue_killed",
+        "eof",
+    )
+
+    def __init__(self, process, tasks, results):
         self.process = process
         self.tasks = tasks
+        #: parent-side read end of the worker's result pipe
+        self.results = results
         self.loaded: set[str] = set()
         self.inflight: dict[int, _Shard] = {}
+        self.overdue_killed = False
+        #: the pipe reached EOF (worker exited); stop select()-ing it
+        self.eof = False
 
 
-def _service_worker_main(tasks, results) -> None:
+def _solve_request(solver, structure, td, budget, fallback, key, fallbacks):
+    """Solve one request inside a worker; an outcome tuple.
+
+    ``("ok", value)`` / ``("fb", value)`` (answered by the fallback
+    backend) / ``("budget", message, dimension, limit, consumed)`` /
+    ``("err", brief, traceback)``.  Per-request, so one failing
+    structure cannot take down its shard-mates' answers."""
+    solve_one = solver.decide if solver.compiled.is_sentence else solver.query
+    try:
+        try:
+            return ("ok", solve_one(structure, td, budget=budget))
+        except BudgetExceeded as exc:
+            if fallback is None:
+                return ("budget", str(exc), exc.dimension, exc.limit, exc.consumed)
+            sibling = fallbacks.get(key)
+            if sibling is None:
+                sibling = fallbacks[key] = solver.with_backend(fallback)
+            fb_solve = (
+                sibling.decide if sibling.compiled.is_sentence else sibling.query
+            )
+            # the fallback runs unbudgeted: it is the degradation path,
+            # and the deadline/overdue-kill backstop still applies
+            return ("fb", fb_solve(structure, td))
+    except BaseException as exc:
+        return ("err", f"{type(exc).__name__}: {exc}", traceback.format_exc())
+
+
+def _service_worker_main(
+    tasks, results, faults_text=None, budget=None, fallback=None
+) -> None:
     """Worker process loop.
 
     Solvers arrive once per program as a pickled payload (``"load"``)
     and stay resident -- the per-worker ``default_cache()`` fills on the
     first solve and every later shard of the same program runs warm.
-    Shards (``"solve"``) evaluate request-by-request and post one
-    ``("done", shard_id, values)`` (or ``("error", ...)``) per shard.
+    Shards (``"solve"``) evaluate request-by-request and send one
+    ``("done", shard_id, outcomes)`` (or ``("error", ...)`` for
+    shard-level failures) per shard over this worker's private result
+    pipe.
+
+    ``faults_text`` re-parses into this process's own
+    :class:`~repro.service.faults.FaultPlan` (fresh counters per
+    worker, so "this worker crashes once" survives respawn);
+    ``budget`` / ``fallback`` are the service-wide solve budget and
+    degradation backend.
     """
+    faults = FaultPlan.parse(faults_text)
     solvers = {}
+    fallbacks = {}
     while True:
         try:
             message = tasks.get()
@@ -164,21 +399,30 @@ def _service_worker_main(tasks, results) -> None:
         _, shard_id, key, items = message
         try:
             solver = solvers[key]
-            solve_one = (
-                solver.decide if solver.compiled.is_sentence else solver.query
-            )
-            values = [solve_one(structure, td) for structure, td in items]
-        except BaseException as exc:  # report, don't kill the worker
-            results.put(
-                (
-                    "error",
-                    shard_id,
-                    f"{type(exc).__name__}: {exc}",
-                    traceback.format_exc(),
+            outcomes = []
+            for structure, td in items:
+                if faults and faults.induce("worker.solve") == "crash":
+                    os._exit(FAULT_CRASH_EXIT)
+                outcomes.append(
+                    _solve_request(
+                        solver, structure, td, budget, fallback, key, fallbacks
+                    )
                 )
+        except BaseException as exc:  # report, don't kill the worker
+            reply = (
+                "error",
+                shard_id,
+                f"{type(exc).__name__}: {exc}",
+                traceback.format_exc(),
             )
         else:
-            results.put(("done", shard_id, values))
+            if faults and faults.induce("worker.result") == "drop":
+                continue  # injected result loss: deadline backstop recovers
+            reply = ("done", shard_id, outcomes)
+        try:
+            results.send(reply)
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+            return
 
 
 def coalesce(
@@ -223,15 +467,43 @@ class ProgramHandle:
         self._service = service
         self.key = key
 
-    def submit(self, structure, td=None, *, block: bool = True) -> Future:
-        """Enqueue one solve; returns the future of its answer."""
-        return self._service._submit(self.key, structure, td, block=block)
+    def submit(
+        self,
+        structure,
+        td=None,
+        *,
+        block: bool = True,
+        timeout: float | None = None,
+        deadline: float | None = None,
+    ) -> Future:
+        """Enqueue one solve; returns the future of its answer.
+
+        ``timeout`` (seconds from now) or ``deadline`` (absolute
+        ``time.monotonic()`` value) bound how long the request may wait
+        + run: an expired request fails with :class:`DeadlineExceeded`
+        instead of occupying a worker.  A quarantined structure fails
+        fast with :class:`PoisonInput` -- in both cases the returned
+        future is already resolved."""
+        if timeout is not None:
+            if deadline is not None:
+                raise ValueError("pass timeout= or deadline=, not both")
+            deadline = time.monotonic() + timeout
+        return self._service._submit(
+            self.key, structure, td, block=block, deadline=deadline
+        )
 
     def submit_many(
-        self, structures, tds=None, *, block: bool = True
+        self,
+        structures,
+        tds=None,
+        *,
+        block: bool = True,
+        timeout: float | None = None,
+        deadline: float | None = None,
     ) -> list[Future]:
         """Enqueue a batch; returns one future per structure, in input
-        order."""
+        order.  ``timeout`` is converted to one shared deadline for the
+        whole batch (not per request)."""
         structures = list(structures)
         if tds is None:
             tds = [None] * len(structures)
@@ -242,17 +514,35 @@ class ProgramHandle:
                     f"{len(structures)} structures but {len(tds)} "
                     "decompositions"
                 )
+        if timeout is not None:
+            if deadline is not None:
+                raise ValueError("pass timeout= or deadline=, not both")
+            deadline = time.monotonic() + timeout
         return [
-            self.submit(s, td, block=block)
+            self.submit(s, td, block=block, deadline=deadline)
             for s, td in zip(structures, tds)
         ]
 
     def solve_many(self, structures, tds=None, timeout=None) -> list:
         """Submit a batch and wait: the blocking convenience mirror of
         ``CourcelleSolver.solve_many`` (same result list, same input
-        order), served by the warm pool."""
-        futures = self.submit_many(structures, tds)
-        return [future.result(timeout) for future in futures]
+        order), served by the warm pool.
+
+        ``timeout`` bounds the **whole batch**: one shared monotonic
+        deadline is computed up front, threaded to every request, and
+        each wait gets only the remainder -- the total wait is at most
+        ``timeout``, never N x timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        futures = self.submit_many(structures, tds, deadline=deadline)
+        results = []
+        for future in futures:
+            remaining = (
+                None
+                if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            results.append(future.result(remaining))
+        return results
 
 
 class SolverService:
@@ -263,6 +553,27 @@ class SolverService:
     ``max_shard`` caps how many requests one dispatch bundles.
     ``context`` picks the multiprocessing start method (name or
     context object); the platform default is used otherwise.
+
+    Fault tolerance knobs:
+
+    * ``max_retries`` -- attempts per request before it is declared
+      :class:`PoisonInput` and quarantined (so a request's shard may
+      kill a worker at most ``max_retries`` times);
+    * ``retry_backoff`` -- base delay before a crashed shard is
+      re-dispatched, doubled per crash of the request
+      (``backoff * 2**(crashes-1)``);
+    * ``budget`` -- a :class:`repro.datalog.SolveBudget` applied to
+      every solve (cooperative: over-budget solves raise
+      :class:`repro.datalog.BudgetExceeded`, the worker survives);
+    * ``fallback_backend`` -- a ``CourcelleSolver`` backend name that
+      answers over-budget solves instead of failing them (e.g.
+      ``"quasi-guarded-eager"``), unbudgeted;
+    * ``faults`` -- a :class:`~repro.service.faults.FaultPlan` (or its
+      spec string) arming deterministic fault injection; defaults to
+      ``FaultPlan.from_env()`` (the ``REPRO_SERVICE_FAULTS``
+      variable), empty in production;
+    * ``shutdown_grace`` -- seconds each shutdown join waits before
+      escalating terminate() -> kill().
 
     Use as a context manager for a drained shutdown::
 
@@ -280,6 +591,12 @@ class SolverService:
         max_shard: int = 64,
         poll_interval: float = 0.05,
         context=None,
+        max_retries: int = 3,
+        retry_backoff: float = 0.05,
+        budget: SolveBudget | None = None,
+        fallback_backend: str | None = None,
+        faults: "FaultPlan | str | None" = None,
+        shutdown_grace: float = 5.0,
     ):
         if workers is None:
             workers = default_worker_count()
@@ -289,8 +606,35 @@ class SolverService:
             raise ValueError("max_pending must be positive")
         if max_shard < 1:
             raise ValueError("max_shard must be positive")
+        if max_retries < 1:
+            raise ValueError("max_retries must be positive")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
+        if budget is not None and not isinstance(budget, SolveBudget):
+            raise TypeError(
+                f"budget must be a SolveBudget, got {type(budget).__name__}"
+            )
+        if fallback_backend is not None:
+            known = set(_QG_MODES) | set(available_backends())
+            if fallback_backend not in known:
+                raise ValueError(
+                    f"unknown fallback backend {fallback_backend!r}; "
+                    f"expected one of {sorted(known)}"
+                )
         self.max_pending = max_pending
         self.max_shard = max_shard
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.shutdown_grace = shutdown_grace
+        self.budget = (
+            None if budget is not None and budget.unlimited else budget
+        )
+        self.fallback_backend = fallback_backend
+        if faults is None:
+            faults = FaultPlan.from_env()
+        elif isinstance(faults, str):
+            faults = FaultPlan.parse(faults)
+        self._faults = faults
         self._poll = poll_interval
         if context is None:
             self._ctx = multiprocessing.get_context()
@@ -310,12 +654,12 @@ class SolverService:
         self._queued = 0  # requests in _pending + undispatched _shards
         self._payloads: dict[str, bytes] = {}
         self._handles: dict[str, ProgramHandle] = {}
+        self._quarantine: dict[str, QuarantineRecord] = {}
         self._shard_seq = itertools.count(1)
         self._worker_seq = itertools.count(1)
         self._closed = False
         self._stopped = False
         self._collector_stop = threading.Event()
-        self._results = self._ctx.Queue()
         self._workers = [self._spawn_worker() for _ in range(workers)]
         self._scheduler = threading.Thread(
             target=self._scheduler_loop,
@@ -386,20 +730,45 @@ class SolverService:
                 self._payloads[key] = payload
         return handle
 
-    def solve_many(self, solver, structures, tds=None) -> list:
+    def solve_many(self, solver, structures, tds=None, timeout=None) -> list:
         """``CourcelleSolver.solve_many(..., service=self)`` lands
         here: register (cached) and solve the batch on the warm pool."""
-        return self.register(solver).solve_many(structures, tds)
+        return self.register(solver).solve_many(structures, tds, timeout)
+
+    # -- quarantine ----------------------------------------------------
+
+    def quarantined(self) -> tuple[QuarantineRecord, ...]:
+        """The current quarantine population (snapshot)."""
+        with self._lock:
+            return tuple(self._quarantine.values())
+
+    def evict_quarantine(self, fingerprint: str | None = None) -> int:
+        """Evict one fingerprint (or all of them); how many were
+        evicted.  Evicted structures may be submitted again -- they get
+        a fresh ``max_retries`` allowance."""
+        with self._lock:
+            if fingerprint is None:
+                count = len(self._quarantine)
+                self._quarantine.clear()
+            else:
+                count = int(self._quarantine.pop(fingerprint, None) is not None)
+            self.stats.quarantine_size = len(self._quarantine)
+        return count
 
     def shutdown(self, drain: bool = True, timeout: float | None = None):
         """Stop the service.
 
         ``drain=True`` (the default) stops intake, waits until every
         queued request and in-flight shard has resolved, then stops the
-        workers -- no accepted request is ever dropped.  ``drain=False``
+        workers -- no accepted request is ever dropped (crash recovery,
+        retries and quarantine keep running during the drain, so a
+        worker dying mid-drain cannot hang it).  ``drain=False``
         cancels queued requests, abandons in-flight shards (their
         futures get :class:`ServiceClosed`), and terminates the workers
         immediately.  Idempotent; ``timeout`` bounds the drain wait.
+        Workers that outlive ``shutdown_grace`` per join are escalated
+        terminate() -> kill() and counted in
+        ``stats.shutdown_escalations``.
         """
         abandoned: list[Future] = []
         with self._work:
@@ -469,42 +838,85 @@ class SolverService:
                         pass
                 else:
                     worker.process.terminate()
-        self._scheduler.join(timeout=5)
+        self._scheduler.join(timeout=self.shutdown_grace)
         for worker in self._workers:
-            worker.process.join(timeout=5)
-            if worker.process.is_alive():  # pragma: no cover - stuck solve
+            worker.process.join(timeout=self.shutdown_grace)
+            if worker.process.is_alive():
+                # the stop message was ignored (hung or very slow
+                # solve): escalate rather than leak the process
                 worker.process.terminate()
-                worker.process.join(timeout=5)
+                self.stats.shutdown_escalations += 1
+                worker.process.join(timeout=self.shutdown_grace)
+                if worker.process.is_alive():  # pragma: no cover - SIGTERM ignored
+                    worker.process.kill()
+                    self.stats.shutdown_escalations += 1
+                    worker.process.join(timeout=self.shutdown_grace)
         self._collector_stop.set()
         self._collector.join(timeout=5)
+        for worker in self._workers:
+            try:
+                worker.results.close()
+            except OSError:  # pragma: no cover
+                pass
 
     close = shutdown
 
     # -- submission ----------------------------------------------------
 
-    def _submit(self, key, structure, td, *, block: bool = True) -> Future:
+    def _submit(
+        self, key, structure, td, *, block: bool = True, deadline=None
+    ) -> Future:
         future: Future = Future()
-        request = _Request(structure, td, future)
+        request = _Request(structure, td, future, deadline)
+        reject: BaseException | None = None
         with self._space:
             if self._closed:
                 raise ServiceClosed("service is shut down")
             if key not in self._payloads:
                 raise KeyError(f"program {key!r} is not registered")
-            while self._queued >= self.max_pending:
-                if not block:
-                    raise ServiceSaturated(
-                        f"request queue is full "
-                        f"({self._queued}/{self.max_pending})"
+            if self._quarantine:
+                record = self._quarantine.get(request.fingerprint)
+                if record is not None:
+                    record.rejections += 1
+                    self.stats.quarantine_rejections += 1
+                    reject = PoisonInput(
+                        f"structure {record.fingerprint} is quarantined: it "
+                        f"crashed its worker {record.crashes} time(s) "
+                        f"(program {record.program_key}); "
+                        f"evict_quarantine() to retry it",
+                        fingerprint=record.fingerprint,
+                        program_key=record.program_key,
+                        crashes=record.crashes,
+                        history=record.history,
                     )
-                self._space.wait(self._poll)
-                if self._closed:
-                    raise ServiceClosed("service shut down while waiting")
-            self._pending.append((key, request))
-            self._queued += 1
-            self.stats.submitted += 1
-            if self._queued > self.stats.peak_queue_depth:
-                self.stats.peak_queue_depth = self._queued
-            self._work.notify_all()
+            if reject is None and deadline is not None:
+                late = time.monotonic() - deadline
+                if late >= 0:
+                    self.stats.deadline_expired += 1
+                    reject = DeadlineExceeded(
+                        f"request deadline was already {late:.3f}s past "
+                        "at submit"
+                    )
+            if reject is None:
+                while self._queued >= self.max_pending:
+                    if not block:
+                        raise ServiceSaturated(
+                            f"request queue is full "
+                            f"({self._queued}/{self.max_pending})"
+                        )
+                    self._space.wait(self._poll)
+                    if self._closed:
+                        raise ServiceClosed("service shut down while waiting")
+                self._pending.append((key, request))
+                self._queued += 1
+                self.stats.submitted += 1
+                if self._queued > self.stats.peak_queue_depth:
+                    self.stats.peak_queue_depth = self._queued
+                self._work.notify_all()
+        if reject is not None:
+            # fast-fail: resolve outside the lock, before anyone else
+            # can see the future
+            future.set_exception(reject)
         return future
 
     # -- scheduler -----------------------------------------------------
@@ -522,20 +934,42 @@ class SolverService:
         )
 
     def _scheduler_loop(self) -> None:
-        with self._work:
-            while True:
+        faults = self._faults
+        while True:
+            with self._work:
                 while not self._stopped and not self._dispatchable_locked():
                     # timed wait: worker deaths / respawns don't notify
                     self._work.wait(self._poll)
                 if self._stopped:
                     return
-                self._dispatch_locked()
+            if faults:
+                faults.induce("scheduler.dispatch")  # injected stall
+            expired: list[tuple[_Request, BaseException]] = []
+            with self._work:
+                if self._stopped:
+                    return
+                self._dispatch_locked(expired)
+            # deadline failures resolve outside the lock (future
+            # callbacks run here and may re-enter the service)
+            for request, exc in expired:
+                if not request.future.done():
+                    request.future.set_exception(exc)
 
-    def _dispatch_locked(self) -> None:
+    def _dispatch_locked(self, expired) -> None:
         idle = deque(self._idle_workers_locked())
-        # resubmissions and leftovers first: they are oldest
-        while idle and self._shards:
-            self._send_locked(idle.popleft(), self._shards.popleft())
+        # resubmissions and leftovers first: they are oldest.  Shards
+        # still inside their retry backoff window are held back.
+        if idle and self._shards:
+            now = time.monotonic()
+            held: list[_Shard] = []
+            while idle and self._shards:
+                shard = self._shards.popleft()
+                if shard.not_before > now:
+                    held.append(shard)
+                    continue
+                self._send_locked(idle.popleft(), shard, expired)
+            for shard in reversed(held):
+                self._shards.appendleft(shard)
         if not idle or not self._pending:
             return
         pending = list(self._pending)
@@ -543,22 +977,61 @@ class SolverService:
         for key, requests in coalesce(pending, len(idle), self.max_shard):
             shard = _Shard(next(self._shard_seq), key, requests)
             if idle:
-                self._send_locked(idle.popleft(), shard)
+                self._send_locked(idle.popleft(), shard, expired)
             else:
                 self._shards.append(shard)  # dispatched as workers free up
 
-    def _send_locked(self, worker: _Worker, shard: _Shard) -> None:
+    def _send_locked(self, worker: _Worker, shard: _Shard, expired) -> None:
+        now = time.monotonic()
         if not shard.dispatched:
             self._queued -= len(shard.requests)
             self._space.notify_all()
-            # cancelled-while-queued requests drop out here; the rest
-            # transition to running (cancel() is refused from now on)
-            shard.requests = [
-                request
-                for request in shard.requests
-                if request.future.set_running_or_notify_cancel()
-            ]
+            # cancelled-while-queued requests drop out here; expired
+            # ones fail with DeadlineExceeded instead of occupying a
+            # worker; the rest transition to running (cancel() is
+            # refused from now on)
+            live = []
+            for request in shard.requests:
+                if not request.future.set_running_or_notify_cancel():
+                    continue
+                if request.deadline is not None and now >= request.deadline:
+                    self.stats.deadline_expired += 1
+                    self.stats.failed += 1
+                    expired.append(
+                        (
+                            request,
+                            DeadlineExceeded(
+                                "request deadline expired "
+                                f"{now - request.deadline:.3f}s before "
+                                "dispatch"
+                            ),
+                        )
+                    )
+                    continue
+                live.append(request)
+            shard.requests = live
             shard.dispatched = True
+        else:
+            # a retry: futures are already running, but the wait in the
+            # backoff window may have outlived some deadlines
+            live = []
+            for request in shard.requests:
+                if request.deadline is not None and now >= request.deadline:
+                    self.stats.deadline_expired += 1
+                    self.stats.failed += 1
+                    expired.append(
+                        (
+                            request,
+                            DeadlineExceeded(
+                                "request deadline expired "
+                                f"{now - request.deadline:.3f}s before "
+                                "its retry could dispatch"
+                            ),
+                        )
+                    )
+                    continue
+                live.append(request)
+            shard.requests = live
         if not shard.requests:
             return
         if shard.key not in worker.loaded:
@@ -579,29 +1052,53 @@ class SolverService:
 
     # -- result collection & crash recovery ----------------------------
 
-    def _collector_loop(self) -> None:
-        while not self._collector_stop.is_set():
+    def _collect_messages(self) -> list:
+        """Wait up to one poll interval on every live worker's result
+        pipe and drain whatever arrived.  A pipe at EOF (its worker
+        exited) is drained of any results the worker managed to flush
+        before dying, then dropped from the select set -- crash
+        recovery handles the rest."""
+        with self._lock:
+            readers = [
+                (worker, worker.results)
+                for worker in self._workers
+                if not worker.eof
+            ]
+        if not readers:
+            time.sleep(self._poll)
+            return []
+        try:
+            ready = _pipe_wait([r for _w, r in readers], timeout=self._poll)
+        except OSError:  # pragma: no cover - fd closed under us
+            time.sleep(self._poll)
+            return []
+        ready = set(ready)
+        messages = []
+        for worker, reader in readers:
+            if reader not in ready:
+                continue
             try:
-                message = self._results.get(timeout=self._poll)
-            except queue_module.Empty:
-                message = None
-            except (EOFError, OSError):  # pragma: no cover - queue gone
-                return
+                while reader.poll(0):
+                    messages.append(reader.recv())
+            except (EOFError, OSError):
+                worker.eof = True
+        return messages
+
+    def _collector_loop(self) -> None:
+        faults = self._faults
+        while not self._collector_stop.is_set():
+            messages = self._collect_messages()
+            if faults and messages:
+                faults.induce("collector.result")  # injected stall
             completions: list[tuple[Future, object, BaseException | None]] = []
             with self._work:
-                if self._stopped and message is None:
+                if self._stopped and not messages:
                     continue  # drain stragglers until told to stop
-                if message is not None:
+                for message in messages:
                     self._handle_message_locked(message, completions)
-                    while True:  # drain whatever arrived meanwhile
-                        try:
-                            self._handle_message_locked(
-                                self._results.get_nowait(), completions
-                            )
-                        except queue_module.Empty:
-                            break
                 if not self._stopped:
-                    self._recover_workers_locked()
+                    self._expire_locked(completions)
+                    self._recover_workers_locked(completions)
                 self._work.notify_all()
             # resolve outside the lock: done-callbacks run here and must
             # be free to touch the service (e.g. submit a follow-up)
@@ -622,28 +1119,161 @@ class SolverService:
             return
         if shard.worker is not None:
             shard.worker.inflight.pop(shard.shard_id, None)
-        if kind == "done":
-            values = message[2]
-            for request, value in zip(shard.requests, values):
-                completions.append((request.future, value, None))
-            self.stats.completed += len(shard.requests)
-        else:  # ("error", shard_id, brief, worker_traceback)
-            _, _, brief, worker_tb = message
-            exc = ShardFailed(
-                f"solver worker failed: {brief}\n"
-                f"--- worker traceback ---\n{worker_tb}"
+        if shard.resubmitted_at is not None:
+            self.stats.recovery_ms.append(
+                round((time.monotonic() - shard.resubmitted_at) * 1000.0, 3)
             )
+        if kind == "done":
+            outcomes = message[2]
+            for request, outcome in zip(shard.requests, outcomes):
+                tag = outcome[0]
+                if tag == "ok" or tag == "fb":
+                    completions.append((request.future, outcome[1], None))
+                    self.stats.completed += 1
+                    if tag == "fb":
+                        self.stats.fallback_solves += 1
+                elif tag == "budget":
+                    _, brief, dimension, limit, consumed = outcome
+                    completions.append(
+                        (
+                            request.future,
+                            None,
+                            BudgetExceeded(
+                                brief,
+                                dimension=dimension,
+                                limit=limit,
+                                consumed=consumed,
+                            ),
+                        )
+                    )
+                    self.stats.budget_exceeded += 1
+                    self.stats.failed += 1
+                else:  # ("err", brief, worker_traceback)
+                    _, brief, worker_tb = outcome
+                    completions.append(
+                        (
+                            request.future,
+                            None,
+                            ShardFailed(
+                                f"solver worker failed: {brief}\n"
+                                f"(program {shard.key}; structure "
+                                f"{request.fingerprint})\n"
+                                f"--- worker traceback ---\n{worker_tb}",
+                                fingerprint=request.fingerprint,
+                                program_key=shard.key,
+                            ),
+                        )
+                    )
+                    self.stats.failed += 1
+        else:  # ("error", shard_id, brief, worker_traceback) - shard-level
+            _, _, brief, worker_tb = message
             for request in shard.requests:
-                completions.append((request.future, None, exc))
+                completions.append(
+                    (
+                        request.future,
+                        None,
+                        ShardFailed(
+                            f"solver worker failed: {brief}\n"
+                            f"(program {shard.key}; structure "
+                            f"{request.fingerprint})\n"
+                            f"--- worker traceback ---\n{worker_tb}",
+                            fingerprint=request.fingerprint,
+                            program_key=shard.key,
+                        ),
+                    )
+                )
             self.stats.failed += len(shard.requests)
 
-    def _recover_workers_locked(self) -> None:
+    def _expire_locked(self, completions) -> None:
+        """The collector's deadline tick.
+
+        Fails expired requests that are still queued (in ``_pending``
+        or an undispatched/backoff shard), and kills the worker of any
+        in-flight shard whose *every* request is past its deadline --
+        the hard backstop behind hung solves and dropped results (the
+        kill funnels into crash recovery, where the expired requests
+        then fail with :class:`DeadlineExceeded`)."""
+        now = time.monotonic()
+
+        def expire(request: _Request) -> None:
+            self.stats.deadline_expired += 1
+            self.stats.failed += 1
+            completions.append(
+                (
+                    request.future,
+                    None,
+                    DeadlineExceeded(
+                        "request deadline expired "
+                        f"{now - request.deadline:.3f}s ago while queued"
+                    ),
+                )
+            )
+
+        if self._pending and any(
+            r.deadline is not None and now >= r.deadline
+            for _k, r in self._pending
+        ):
+            kept: deque[tuple[str, _Request]] = deque()
+            for key, request in self._pending:
+                if request.deadline is not None and now >= request.deadline:
+                    expire(request)
+                    self._queued -= 1
+                else:
+                    kept.append((key, request))
+            self._pending = kept
+            self._space.notify_all()
+        for shard in self._shards:
+            if not shard.requests:
+                continue
+            live = []
+            for request in shard.requests:
+                if request.deadline is not None and now >= request.deadline:
+                    expire(request)
+                    if not shard.dispatched:
+                        self._queued -= 1
+                else:
+                    live.append(request)
+            if len(live) != len(shard.requests):
+                shard.requests = live
+                self._space.notify_all()
+        for shard in self._inflight.values():
+            if not shard.requests:
+                continue
+            worker = shard.worker
+            if worker is None or worker.overdue_killed:
+                continue
+            if all(
+                request.deadline is not None and now >= request.deadline
+                for request in shard.requests
+            ):
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                worker.overdue_killed = True
+                self.stats.workers_killed_overdue += 1
+
+    def _recover_workers_locked(self, completions) -> None:
+        now = time.monotonic()
         for i, worker in enumerate(self._workers):
             if worker.process.is_alive():
                 continue
-            # a dead worker's in-flight shards are lost unless their
-            # results were already queued (then the pop above resolved
-            # them); resubmit the rest at the front of the shard queue
+            exitcode = worker.process.exitcode
+            # salvage results the worker flushed before dying, so a
+            # shard that actually completed is not charged as a crash
+            if not worker.eof:
+                try:
+                    while worker.results.poll(0):
+                        self._handle_message_locked(
+                            worker.results.recv(), completions
+                        )
+                except (EOFError, OSError):
+                    pass
+                worker.eof = True
+            try:
+                worker.results.close()
+            except OSError:  # pragma: no cover
+                pass
+            # the dead worker's remaining in-flight shards are lost;
+            # retry them -- capped, backed off, split
             lost = [
                 shard
                 for shard_id, shard in worker.inflight.items()
@@ -653,21 +1283,113 @@ class SolverService:
             for shard in reversed(lost):
                 del self._inflight[shard.shard_id]
                 shard.worker = None
-                self._shards.appendleft(shard)
-                self.stats.shards_resubmitted += 1
+                self._requeue_crashed_locked(shard, exitcode, now, completions)
             worker.process.join()  # reap
             self.stats.worker_restarts += 1
             self._workers[i] = self._spawn_worker()
+
+    def _requeue_crashed_locked(
+        self, shard: _Shard, exitcode, now: float, completions
+    ) -> None:
+        """Triage one crash-lost shard: expired requests fail with
+        :class:`DeadlineExceeded`, requests out of retries fail with
+        :class:`PoisonInput` (and are quarantined), the rest are
+        re-queued -- one singleton shard each when the shard held
+        several requests, so the actual poison structure cannot take
+        its shard-mates down with it again."""
+        survivors: list[_Request] = []
+        for request in shard.requests:
+            request.crashes += 1
+            request.history.append(
+                f"attempt {request.crashes}: worker died (exit code "
+                f"{exitcode}) while solving a shard of "
+                f"{len(shard.requests)} request(s)"
+            )
+            if request.deadline is not None and now >= request.deadline:
+                self.stats.deadline_expired += 1
+                self.stats.failed += 1
+                completions.append(
+                    (
+                        request.future,
+                        None,
+                        DeadlineExceeded(
+                            "request deadline expired "
+                            f"{now - request.deadline:.3f}s ago "
+                            f"(its worker died {request.crashes} time(s))"
+                        ),
+                    )
+                )
+                continue
+            if request.crashes >= self.max_retries:
+                completions.append(
+                    (request.future, None, self._poison_locked(request, shard.key))
+                )
+                continue
+            survivors.append(request)
+        if not survivors:
+            return
+        self.stats.retries += len(survivors)
+        if len(survivors) == 1:
+            pieces = [shard]
+            shard.requests = survivors
+        else:
+            pieces = []
+            for request in survivors:
+                piece = _Shard(next(self._shard_seq), shard.key, [request])
+                piece.dispatched = True  # futures are already running
+                pieces.append(piece)
+        for piece in reversed(pieces):
+            crashes = piece.requests[0].crashes
+            piece.worker = None
+            piece.not_before = now + self.retry_backoff * (2 ** (crashes - 1))
+            piece.resubmitted_at = now
+            self._shards.appendleft(piece)
+            self.stats.shards_resubmitted += 1
+
+    def _poison_locked(self, request: _Request, key: str) -> PoisonInput:
+        fingerprint = request.fingerprint
+        history = tuple(request.history)
+        if fingerprint not in self._quarantine:
+            self._quarantine[fingerprint] = QuarantineRecord(
+                fingerprint=fingerprint,
+                program_key=key,
+                crashes=request.crashes,
+                history=history,
+            )
+            self.stats.poisoned += 1
+            self.stats.quarantine_size = len(self._quarantine)
+        self.stats.failed += 1
+        return PoisonInput(
+            f"structure {fingerprint} crashed its worker "
+            f"{request.crashes} time(s) and is now quarantined "
+            f"(program {key})",
+            fingerprint=fingerprint,
+            program_key=key,
+            crashes=request.crashes,
+            history=history,
+        )
 
     # -- workers -------------------------------------------------------
 
     def _spawn_worker(self) -> _Worker:
         tasks = self._ctx.Queue()
+        # one private result pipe per worker: no cross-process lock to
+        # leak when a worker dies mid-send (see _Worker's docstring)
+        reader, writer = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=_service_worker_main,
-            args=(tasks, self._results),
+            args=(
+                tasks,
+                writer,
+                str(self._faults) if self._faults else None,
+                self.budget,
+                self.fallback_backend,
+            ),
             name=f"solver-service-worker-{next(self._worker_seq)}",
             daemon=True,
         )
         process.start()
-        return _Worker(process, tasks)
+        # drop the parent's copy of the write end so the reader sees
+        # EOF as soon as the worker (its only writer) exits
+        writer.close()
+        return _Worker(process, tasks, reader)

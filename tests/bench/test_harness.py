@@ -74,7 +74,7 @@ class TestEngineBaseline:
 
     def test_schema_version(self, payload):
         bench = _bench_module()
-        assert payload["schema"] == "bench-engine/v4"
+        assert payload["schema"] == "bench-engine/v5"
         assert payload["schema"] == bench.SCHEMA_VERSION
         assert payload["benchmark"] == "benchmarks/bench_datalog_engine.py"
 
@@ -219,7 +219,7 @@ class TestBaselineDrift:
     checked-in BENCH_engine.json."""
 
     @staticmethod
-    def _payload(schema="bench-engine/v4", quick=True):
+    def _payload(schema="bench-engine/v5", quick=True):
         return {
             "schema": schema,
             "quick": quick,
@@ -376,6 +376,112 @@ class TestServiceThroughput:
             )
             == []
         )
+
+
+def _resilience_record(
+    identical=True,
+    failed=0,
+    poisoned=0,
+    restarts=3,
+    recovery_count=3,
+    p50=60.0,
+    p95=200.0,
+):
+    return {
+        "identical": identical,
+        "requests": 10,
+        "fault_plan": "crash@worker.solve+1",
+        "clean_ms": 500.0,
+        "faulty_ms": 900.0,
+        "goodput": {
+            "clean_solves_per_sec": 20.0,
+            "faulty_solves_per_sec": 11.1,
+            "degradation": 1.8,
+        },
+        "recovery_ms": {"count": recovery_count, "p50": p50, "p95": p95},
+        "scheduler": {
+            "worker_restarts": restarts,
+            "shards_resubmitted": restarts,
+            "retries": restarts,
+            "completed": 10,
+            "failed": failed,
+            "poisoned": poisoned,
+        },
+    }
+
+
+class TestServiceResilience:
+    """The service_resilience section of BENCH_engine.json (the v5
+    --faults mode of bench_solver_service.py) and its CI gate."""
+
+    @pytest.fixture(scope="class")
+    def record(self):
+        payload = json.loads((REPO_ROOT / "BENCH_engine.json").read_text())
+        return payload["service_resilience"]
+
+    def test_checked_in_record_shape(self, record):
+        assert record["identical"] is True
+        assert record["requests"] > 0
+        assert record["fault_plan"]  # the run really injected faults
+        assert record["clean_ms"] > 0
+        assert record["faulty_ms"] > 0
+        assert record["goodput"]["degradation"] is not None
+        assert record["recovery_ms"]["count"] >= 1
+        assert record["recovery_ms"]["p50"] > 0
+        assert (
+            record["recovery_ms"]["p95"] >= record["recovery_ms"]["p50"]
+        )
+        scheduler = record["scheduler"]
+        assert scheduler["worker_restarts"] >= 1
+        assert scheduler["failed"] == 0
+        assert scheduler["poisoned"] == 0
+        assert scheduler["completed"] == record["requests"]
+
+    def test_checked_in_record_passes_the_gate(self, record):
+        bench = _service_bench_module()
+        assert bench.check_resilience_contracts(record) == []
+
+    def test_gate_passes_on_good_record(self):
+        bench = _service_bench_module()
+        assert (
+            bench.check_resilience_contracts(_resilience_record()) == []
+        )
+
+    def test_gate_fails_on_answer_divergence(self):
+        bench = _service_bench_module()
+        failures = bench.check_resilience_contracts(
+            _resilience_record(identical=False)
+        )
+        assert any("differ" in f for f in failures)
+
+    def test_gate_fails_on_lost_requests(self):
+        bench = _service_bench_module()
+        failures = bench.check_resilience_contracts(
+            _resilience_record(failed=1)
+        )
+        assert any("lost" in f for f in failures)
+        failures = bench.check_resilience_contracts(
+            _resilience_record(poisoned=1)
+        )
+        assert any("lost" in f for f in failures)
+
+    def test_gate_fails_when_faults_never_fired(self):
+        bench = _service_bench_module()
+        failures = bench.check_resilience_contracts(
+            _resilience_record(restarts=0)
+        )
+        assert any("never fired" in f for f in failures)
+
+    def test_gate_fails_on_missing_or_bad_recovery_latency(self):
+        bench = _service_bench_module()
+        failures = bench.check_resilience_contracts(
+            _resilience_record(recovery_count=0)
+        )
+        assert any("recovery" in f for f in failures)
+        failures = bench.check_resilience_contracts(
+            _resilience_record(p50=200.0, p95=60.0)
+        )
+        assert any("p95" in f for f in failures)
 
 
 class TestLinearFit:
