@@ -162,6 +162,13 @@ class QuasiGuardedEvaluator:
     ``prepared`` / ``relevant`` hand pre-computed per-program artifacts
     straight in (the pickle-safe ``solve_many`` worker handoff: the
     parent resolves them once, workers skip the per-program work).
+
+    ``profile`` (a :class:`~repro.datalog.profile.PlanProfile`) turns
+    on profiling: interned solves record per-signature probe fanout and
+    relation sizes into it.  ``replan`` feeds a previously recorded
+    profile back: the per-rule join orders are re-derived under its
+    cost model (cached per (program, profile fingerprint) in the
+    program cache).
     """
 
     def __init__(
@@ -177,6 +184,8 @@ class QuasiGuardedEvaluator:
         demand=None,
         prepared=None,
         relevant=_UNRESOLVED,
+        profile=None,
+        replan=None,
     ):
         self.program = program
         if dependencies is None:
@@ -208,12 +217,18 @@ class QuasiGuardedEvaluator:
                 "program is not quasi-guarded under the declared key "
                 "dependencies (Definition 4.3)"
             )
+        self.profile = profile
+        if profile is not None and mode == "raw":
+            raise ValueError(
+                "profiling records interned-index fanout; the raw "
+                "ablation path has none to record"
+            )
         if prepared is not None:
             self._prepared = prepared
         else:
             cache = cache if cache is not None else default_cache()
             # body ordering is per-program work; do once, share via cache
-            self._prepared = cache.grounding(program, registry)
+            self._prepared = cache.grounding(program, registry, profile=replan)
         if relevant is not _UNRESOLVED:
             self._relevant = relevant
         else:
@@ -263,6 +278,10 @@ class QuasiGuardedEvaluator:
                 self._prepared, sdb, pool, stats, meter=meter
             )
             flags = horn_least_model_ids(rules, len(pool))
+            if self.profile is not None:
+                # the eager path has no per-probe hooks; sizes alone
+                # still give the cost model its scan estimates
+                self.profile.record_sizes(sdb)
         else:
             sink = ground_program_streamed(
                 self._prepared,
@@ -271,6 +290,7 @@ class QuasiGuardedEvaluator:
                 stats=stats,
                 relevant=self._relevant,
                 meter=meter,
+                profile=self.profile,
             )
             flags = sink.flags(len(pool))
         return QuasiGuardedResult(

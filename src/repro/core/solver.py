@@ -82,10 +82,26 @@ class CourcelleSolver:
         backend: str = "quasi-guarded",
         cache: ProgramCache | None = None,
         minimize: bool = True,
+        profile=None,
+        replan=None,
     ):
         self._formula = formula
         self.backend_name = backend
         self.cache = cache if cache is not None else default_cache()
+        #: set via ``profile=`` (a PlanProfile): interned quasi-guarded
+        #: solves record probe fanout / relation sizes into it; hand it
+        #: to :meth:`replanned` (or a fresh solver's ``replan=``) to
+        #: close the profile -> replan loop
+        self.plan_profile = profile
+        self._replan = replan
+        if (profile is not None or replan is not None) and (
+            backend not in _QG_MODES
+        ):
+            raise ValueError(
+                "profile=/replan= apply to the quasi-guarded backends; "
+                f"backend {backend!r} plans through the program cache "
+                "directly (use ProgramCache.prepared(profile=...))"
+            )
         if free_var is None:
             self.compiled: CompiledQuery = compile_sentence(
                 formula,
@@ -134,6 +150,8 @@ class CourcelleSolver:
                 require_quasi_guarded=not trusted,
                 prepared=prepared,
                 relevant=relevant,
+                profile=self.plan_profile,
+                replan=self._replan,
             )
         else:
             self._backend = get_backend(backend, self.cache)
@@ -171,6 +189,10 @@ class CourcelleSolver:
         self.compiled = state["compiled"]
         self.backend_name = state["backend"]
         self.cache = default_cache()
+        # profiles stay in the parent process; the *replanned plans*
+        # cross the boundary inside the prepared artifact below
+        self.plan_profile = None
+        self._replan = None
         prepared = state.get("prepared")
         if prepared is not None and prepared.registry is None:
             from ..datalog.builtins import standard_registry
@@ -359,6 +381,10 @@ class CourcelleSolver:
         clone.compiled = self.compiled
         clone.backend_name = backend
         clone.cache = self.cache
+        clone.plan_profile = (
+            self.plan_profile if backend in _QG_MODES else None
+        )
+        clone._replan = self._replan if backend in _QG_MODES else None
         if backend in _QG_MODES and self.evaluator is not None:
             clone._wire_backend(
                 prepared=self.evaluator._prepared,
@@ -373,10 +399,56 @@ class CourcelleSolver:
                 prepared=self.cache.grounding(
                     self.compiled.program,
                     self.evaluator.registry if self.evaluator else None,
+                    profile=clone._replan,
                 )
                 if backend in _QG_MODES
                 else None,
             )
+        return clone
+
+    def replanned(self, profile=None) -> "CourcelleSolver":
+        """A sibling solver whose join plans are re-derived under a
+        recorded profile's cost model -- the replan half of the
+        profile -> replan loop.
+
+        ``profile`` defaults to this solver's own ``plan_profile``
+        (populated by solves made with ``profile=`` set).  Like
+        :meth:`with_backend`, the clone shares the compiled program and
+        the cache; only the per-rule join orders (and the index
+        selection derived from them) differ, and the replanned prepared
+        plans ride the same pickle handoff to ``solve_many`` workers.
+        """
+        profile = profile if profile is not None else self.plan_profile
+        if profile is None:
+            raise ValueError(
+                "no profile to replan from: pass profile= or run solves "
+                "on a solver constructed with profile=PlanProfile()"
+            )
+        if self.backend_name not in _QG_MODES:
+            raise ValueError(
+                "replanned() applies to the quasi-guarded backends; "
+                f"backend {self.backend_name!r} plans through the "
+                "program cache (use ProgramCache.prepared(profile=...))"
+            )
+        clone = object.__new__(CourcelleSolver)
+        clone._formula = self._formula
+        clone.compiled = self.compiled
+        clone.backend_name = self.backend_name
+        clone.cache = self.cache
+        clone.plan_profile = None
+        clone._replan = profile
+        clone._wire_backend(
+            prepared=self.cache.grounding(
+                self.compiled.program,
+                self.evaluator.registry if self.evaluator else None,
+                profile=profile,
+            ),
+            relevant=(
+                self.evaluator._relevant
+                if self.evaluator is not None
+                else _UNRESOLVED
+            ),
+        )
         return clone
 
     def compiled_formula(self) -> Formula:

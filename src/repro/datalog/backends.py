@@ -54,6 +54,7 @@ from .evaluate import (
 )
 from .grounding import PreparedGrounding, prepare_grounding
 from .magic import MagicRewrite, magic_rewrite, normalize_query
+from .profile import CostModel, PlanProfile
 from .setengine import SetDatabase, SetSemiNaiveEvaluator
 
 #: the registry that ``registry=None`` resolves to inside the cache, so
@@ -261,15 +262,24 @@ class ProgramCache:
         *,
         signature=None,
         width: int | None = None,
+        profile: PlanProfile | None = None,
     ) -> PreparedProgram:
-        """Stratification + join plans, computed once per fingerprint."""
+        """Stratification + join plans, computed once per fingerprint.
+
+        ``profile`` (a recorded :class:`PlanProfile`) replans with its
+        cost model; profiled entries are keyed by the profile's bucketed
+        fingerprint, so the static plans and any materially different
+        replans coexist -- and warm service workers looking up the same
+        (program, profile) pair hit the cached replanned entry."""
         registry = self._resolve_registry(registry)
         key = (
             "prepared",
             self._fingerprint_of(program),
+            profile.fingerprint() if profile is not None else None,
         ) + self._context_key(registry, signature, width)
+        cost = CostModel(profile) if profile is not None else None
         return self._get_or_build(
-            key, lambda: prepare_program(program, registry)
+            key, lambda: prepare_program(program, registry, cost=cost)
         )
 
     def grounding(
@@ -279,15 +289,18 @@ class ProgramCache:
         *,
         signature=None,
         width: int | None = None,
+        profile: PlanProfile | None = None,
     ) -> PreparedGrounding:
         """Extensional join orders for the Theorem 4.4 pipeline."""
         registry = self._resolve_registry(registry)
         key = (
             "grounding",
             self._fingerprint_of(program),
+            profile.fingerprint() if profile is not None else None,
         ) + self._context_key(registry, signature, width)
+        cost = CostModel(profile) if profile is not None else None
         return self._get_or_build(
-            key, lambda: prepare_grounding(program, registry)
+            key, lambda: prepare_grounding(program, registry, cost=cost)
         )
 
     def magic(
@@ -298,6 +311,7 @@ class ProgramCache:
         *,
         signature=None,
         width: int | None = None,
+        profile: PlanProfile | None = None,
     ) -> tuple[MagicRewrite, PreparedProgram]:
         """The magic rewrite for (program, query), plus its prepared form."""
         registry = self._resolve_registry(registry)
@@ -306,11 +320,15 @@ class ProgramCache:
             "magic",
             self._fingerprint_of(program),
             query_key,
+            profile.fingerprint() if profile is not None else None,
         ) + self._context_key(registry, signature, width)
+        cost = CostModel(profile) if profile is not None else None
 
         def build() -> tuple[MagicRewrite, PreparedProgram]:
-            rewrite = magic_rewrite(program, query, registry)
-            return rewrite, prepare_program(rewrite.program, registry)
+            rewrite = magic_rewrite(program, query, registry, cost=cost)
+            return rewrite, prepare_program(
+                rewrite.program, registry, cost=cost
+            )
 
         return self._get_or_build(key, build)
 

@@ -29,6 +29,7 @@ from typing import Iterable, Iterator, Mapping, Sequence
 from ..structures.structure import Fact, Structure
 from .ast import Atom, Constant, Literal, Program, Rule, Variable
 from .builtins import UNBOUND, BuiltinRegistry, standard_registry
+from .profile import CostModel, IndexSelection, min_index_selection
 
 
 class UnsafeRuleError(ValueError):
@@ -227,6 +228,8 @@ def plan_rule(
     registry: BuiltinRegistry,
     *,
     initial_bound: Iterable[Variable] = (),
+    cost: CostModel | None = None,
+    delta_predicates: frozenset[str] = frozenset(),
 ) -> tuple[PlanStep, ...]:
     """Order the body so every step can run with earlier bindings.
 
@@ -238,6 +241,17 @@ def plan_rule(
     ``initial_bound`` lists variables already bound before the body
     runs; the magic-set rewriting uses it as the sideways-information-
     passing order with the head's bound arguments pre-bound.
+
+    Atoms with equal bound-slot scores tie-break on the ``cost``
+    model's estimated output cardinality (feedback from a profiled
+    run), so a tiny guard relation is joined before a huge one instead
+    of whichever came first in the rule text; atoms the model knows
+    nothing about, and all atoms when ``cost`` is None, keep body
+    textual order.  ``delta_predicates`` names the predicates that are
+    delta-restricted in the semi-naive rounds of this rule's stratum --
+    their scan estimate is scaled down to a per-round delta so
+    cardinality feedback never demotes a recursive atom behind a full
+    extensional scan it would beat on every delta round.
     """
     remaining: list[tuple[int, Literal]] = list(enumerate(rule.body))
     bound: set[Variable] = set(initial_bound)
@@ -250,15 +264,26 @@ def plan_rule(
 
     while remaining:
         chosen: tuple[int, Literal, str] | None = None
-        best_bound = -1
+        best_key: tuple | None = None
         for index, literal in remaining:
             a = literal.atom
             is_builtin = a.predicate in registry and a.predicate not in idb
             mask = atom_mask(a)
             if literal.positive and not is_builtin:
                 score = sum(mask)
-                if score > best_bound:
-                    best_bound = score
+                est = float("inf")
+                if cost is not None:
+                    got = cost.estimate(
+                        a.predicate,
+                        len(a.args),
+                        tuple(i for i, b in enumerate(mask) if b),
+                        delta=a.predicate in delta_predicates,
+                    )
+                    if got is not None:
+                        est = got
+                key = (-score, est, index)
+                if best_key is None or key < best_key:
+                    best_key = key
                     chosen = (index, literal, "relation")
         if chosen is None:
             for index, literal in remaining:
@@ -338,6 +363,10 @@ class EvaluationStats:
     rule_firings: int = 0
     facts_derived: int = 0
     iterations: int = 0
+    #: total bindings produced across all join-plan steps -- the
+    #: planner-quality signal (a bad join order explodes this long
+    #: before wall-clock makes the damage obvious)
+    bindings_explored: int = 0
 
 
 @dataclass(frozen=True)
@@ -368,12 +397,57 @@ class PreparedProgram:
     strata: tuple[frozenset[str], ...]
     plans: tuple[tuple[PlanStep, ...], ...]  # parallel to program.rules
     stratum_plans: tuple[StratumPlan, ...]  # parallel to strata
+    #: MinIndexSelection over the plans' extensional search signatures;
+    #: installed on the SetDatabase by the set-at-a-time evaluator so
+    #: nested access patterns share one lexicographic index
+    index_selection: IndexSelection | None = None
+
+
+def _search_signatures(
+    program: Program,
+    plans: Sequence[tuple[PlanStep, ...]],
+    idb: frozenset[str],
+) -> dict[str, set[tuple[int, ...]]]:
+    """The extensional search signatures of the planned probe steps:
+    predicate -> set of sorted bound-position tuples.  Mirrors the
+    classification of ``setengine._compile_steps`` (constants plus
+    already-bound variables form the probe key; a step with no free
+    positions is a semi-join, not an index probe).  Intensional
+    predicates are excluded -- they mutate every delta round, and the
+    shared lexicographic indexes are rebuilt, not maintained."""
+    signatures: dict[str, set[tuple[int, ...]]] = {}
+    for rule, plan in zip(program.rules, plans):
+        bound: set[Variable] = set()
+        for step in plan:
+            atom = step.literal.atom
+            if step.kind == "relation" and atom.predicate not in idb:
+                key: list[int] = []
+                free = 0
+                seen: set[Variable] = set()
+                for pos, arg in enumerate(atom.args):
+                    if isinstance(arg, Constant) or arg in bound:
+                        key.append(pos)
+                    elif arg not in seen:
+                        seen.add(arg)
+                        free += 1
+                if key and free:
+                    signatures.setdefault(atom.predicate, set()).add(
+                        tuple(key)
+                    )
+            bound.update(step.literal.atom.variables())
+    return signatures
 
 
 def prepare_program(
-    program: Program, registry: BuiltinRegistry | None = None
+    program: Program,
+    registry: BuiltinRegistry | None = None,
+    cost: CostModel | None = None,
 ) -> PreparedProgram:
-    """Stratify, safety-check, and plan every rule of ``program``."""
+    """Stratify, safety-check, and plan every rule of ``program``.
+
+    ``cost`` replans with cardinality feedback: plan_rule tie-breaks on
+    the model's estimates instead of body textual order, producing the
+    "replanned" prepared program of the profile -> replan loop."""
     registry = registry if registry is not None else standard_registry()
     idb = program.intensional_predicates()
     overlap = idb & registry.names()
@@ -383,8 +457,21 @@ def prepare_program(
         )
     strata = tuple(stratify(program))
     _check_negation_stratified(program, idb, strata)
+    stratum_of: dict[str, frozenset[str]] = {}
+    for stratum in strata:
+        for predicate in stratum:
+            stratum_of[predicate] = stratum
     plans = tuple(
-        plan_rule(rule, idb, registry) for rule in program.rules
+        plan_rule(
+            rule,
+            idb,
+            registry,
+            cost=cost,
+            delta_predicates=stratum_of.get(
+                rule.head.predicate, frozenset()
+            ),
+        )
+        for rule in program.rules
     )
     stratum_plans = []
     for stratum in strata:
@@ -409,6 +496,9 @@ def prepare_program(
         strata=strata,
         plans=plans,
         stratum_plans=tuple(stratum_plans),
+        index_selection=min_index_selection(
+            _search_signatures(program, plans, idb)
+        ),
     )
 
 
@@ -504,6 +594,7 @@ class SemiNaiveEvaluator:
                     if not held:
                         new_bindings.append(binding)
             bindings = new_bindings
+            self.stats.bindings_explored += len(bindings)
             if not bindings:
                 return
         yield from bindings

@@ -63,6 +63,7 @@ from .builtins import UNBOUND, BuiltinRegistry, standard_registry
 from .evaluate import Database
 from .horn import GroundRule, StreamingHorn, horn_least_model, horn_least_model_ids
 from .interning import InternPool
+from .profile import CostModel, IndexSelection, PlanProfile, min_index_selection
 from .setengine import SetDatabase
 
 
@@ -111,28 +112,82 @@ class PreparedGrounding:
     #: parallel to ``program.rules``: slot-indexed driver plans for
     #: :func:`ground_program_streamed`
     stream_plans: tuple["StreamRulePlan", ...] = ()
+    #: MinIndexSelection over the plans' search signatures; installed
+    #: on the SetDatabase by the interned/streamed forms so nested
+    #: probe patterns share one lexicographic index
+    index_selection: IndexSelection | None = None
 
 
 def prepare_grounding(
-    program: Program, registry: BuiltinRegistry | None = None
+    program: Program,
+    registry: BuiltinRegistry | None = None,
+    cost: CostModel | None = None,
 ) -> PreparedGrounding:
-    """Order every rule's extensional body ahead of time."""
+    """Order every rule's extensional body ahead of time.
+
+    ``cost`` (a :class:`~repro.datalog.profile.CostModel` over a
+    recorded :class:`~repro.datalog.profile.PlanProfile`) breaks
+    equal-bound-slot ties by estimated output cardinality; without it
+    the ordering is the static greedy one (textual tie-break).
+    """
     registry = registry if registry is not None else standard_registry()
     idb = program.intensional_predicates()
     plans = tuple(
-        tuple(map(tuple, _plan_extensional(rule, idb, registry)))
+        tuple(map(tuple, _plan_extensional(rule, idb, registry, cost)))
         for rule in program.rules
     )
     stream_plans = tuple(
-        _stream_plan(rule, idb, registry) for rule in program.rules
+        _stream_plan(rule, idb, registry, cost) for rule in program.rules
     )
-    return PreparedGrounding(program, registry, plans, stream_plans)
+    selection = min_index_selection(
+        _grounding_signatures(plans, stream_plans, registry)
+    )
+    return PreparedGrounding(program, registry, plans, stream_plans, selection)
+
+
+def _grounding_signatures(
+    plans, stream_plans, registry: BuiltinRegistry
+) -> dict[str, set[tuple[int, ...]]]:
+    """The search signatures (bound-position sets of index probes) of
+    every extensional join step, across both the eager and streamed
+    plans -- the MinIndexSelection input."""
+    signatures: dict[str, set[tuple[int, ...]]] = {}
+
+    def record(predicate: str, key: list[int], has_free: bool) -> None:
+        # only steps with both a key and free positions probe an index;
+        # fully-bound steps are membership checks, keyless ones scans
+        if key and has_free:
+            signatures.setdefault(predicate, set()).add(tuple(sorted(key)))
+
+    for ordered, _idb_literals in plans:
+        bound: set[Variable] = set()
+        for literal in ordered:
+            atom = literal.atom
+            if literal.positive and atom.predicate not in registry:
+                key: list[int] = []
+                seen: set[Variable] = set()
+                has_free = False
+                for pos, arg in enumerate(atom.args):
+                    if isinstance(arg, Constant) or arg in bound:
+                        key.append(pos)
+                    elif arg not in seen:
+                        seen.add(arg)
+                        has_free = True
+                record(atom.predicate, key, has_free)
+            bound.update(atom.variables())
+    for plan in stream_plans:
+        for step in plan.steps:
+            if step.kind == "rel":
+                key = [p for p, _ in step.consts] + [p for p, _ in step.bound]
+                record(step.predicate, key, bool(step.free))
+    return signatures
 
 
 def _plan_extensional(
     rule: Rule,
     idb: frozenset[str],
     registry: BuiltinRegistry,
+    cost: CostModel | None = None,
 ) -> tuple[list[Literal], list[Literal]]:
     """Order the non-IDB body so each step runs with earlier bindings.
 
@@ -156,7 +211,7 @@ def _plan_extensional(
             remaining.append(literal)
 
     bound: set[Variable] = set()
-    ordered = _order_body(remaining, bound, registry, rule)
+    ordered = _order_body(remaining, bound, registry, rule, cost)
 
     needed = rule.variables()
     if not needed <= bound:
@@ -172,12 +227,15 @@ def _order_body(
     bound: set[Variable],
     registry: BuiltinRegistry,
     rule: Rule,
+    cost: CostModel | None = None,
 ) -> list[Literal]:
     """Greedy bound-first ordering of ``remaining``; mutates ``bound``.
 
     Shared by the guard-first plan (``bound`` starts empty) and the
     streamed driver plans (``bound`` starts at the driver literal's
-    variables).
+    variables).  With a ``cost`` model, equal bound-slot scores break
+    by estimated output rows (profiled fanout / relation size) instead
+    of body textual order.
     """
     remaining = list(remaining)
     ordered: list[Literal] = []
@@ -192,13 +250,24 @@ def _order_body(
         # prefer the relation atom with the most bound argument slots --
         # an unbound pick mid-join degenerates into a full-relation scan
         # and breaks the O(|P| * |A|) bound of Theorem 4.4.
-        best_bound = -1
-        for literal in remaining:
+        best_key = None
+        for index, literal in enumerate(remaining):
             atom = literal.atom
             if literal.positive and atom.predicate not in registry:
-                score = sum(mask(atom))
-                if score > best_bound:
-                    best_bound = score
+                m = mask(atom)
+                score = sum(m)
+                est = float("inf")
+                if cost is not None:
+                    got = cost.estimate(
+                        atom.predicate,
+                        len(atom.args),
+                        tuple(i for i, b in enumerate(m) if b),
+                    )
+                    if got is not None:
+                        est = got
+                key = (-score, est, index)
+                if best_key is None or key < best_key:
+                    best_key = key
                     chosen = literal
         if chosen is None:
             for literal in remaining:
@@ -532,6 +601,8 @@ def ground_program_ids(
         )
     registry = prepared.registry
     stats = stats if stats is not None else GroundingStats()
+    if prepared.index_selection is not None:
+        db.use_index_selection(prepared.index_selection)
     intern = db.interner.intern
     ground_rules: list[tuple[int, tuple[int, ...]]] = []
 
@@ -698,13 +769,13 @@ def _join_relation_ids(
                 count += 1
         return out_columns, count
 
-    index = db.index_for(atom.predicate, key_positions)
+    get, key_order = db.probe_plan(atom.predicate, key_positions)
     by_pos = {pos: cid for pos, cid in consts}
     for pos, var in bound:
         by_pos[pos] = columns[var]
-    if len(key_positions) == 1:
-        # single-position SetDatabase indexes key on the bare id
-        key_source = by_pos[key_positions[0]]
+    if len(key_order) == 1:
+        # single-position indexes key on the bare id (hash and lex both)
+        key_source = by_pos[key_order[0]]
         keys = (
             key_source
             if isinstance(key_source, list)
@@ -716,10 +787,9 @@ def _join_relation_ids(
                 by_pos[pos]
                 if isinstance(by_pos[pos], list)
                 else repeat(by_pos[pos], length)
-                for pos in key_positions
+                for pos in key_order
             )
         )
-    get = index.get
     for r, key in enumerate(keys):
         matches = get(key)
         if not matches:
@@ -866,7 +936,10 @@ class StreamRulePlan:
 
 
 def _stream_plan(
-    rule: Rule, idb: frozenset[str], registry: BuiltinRegistry
+    rule: Rule,
+    idb: frozenset[str],
+    registry: BuiltinRegistry,
+    cost: CostModel | None = None,
 ) -> StreamRulePlan:
     idb_literals: list[Literal] = []
     extensional: list[Literal] = []
@@ -906,7 +979,7 @@ def _stream_plan(
                 driver_slots.append((pos, slot(arg)))
 
     bound_vars = set(slot_of)
-    ordered = _order_body(extensional, bound_vars, registry, rule)
+    ordered = _order_body(extensional, bound_vars, registry, rule, cost)
     needed = rule.variables()
     if not needed <= bound_vars:
         missing = sorted(v.name for v in needed - bound_vars)
@@ -1003,12 +1076,26 @@ class _CompiledStreamRule:
         "driver_slots",
         "driver_dups",
         "ops",
+        "op_meta",
         "head",
         "others",
         "invoked",
+        "profile",
     )
 
-    def __init__(self, plan, ops, head, others, driver_consts, pool, sink, stats):
+    def __init__(
+        self,
+        plan,
+        ops,
+        head,
+        others,
+        driver_consts,
+        pool,
+        sink,
+        stats,
+        profile=None,
+        op_meta=(),
+    ):
         self.plan = plan
         self.pool = pool
         self.sink = sink
@@ -1018,9 +1105,13 @@ class _CompiledStreamRule:
         self.driver_slots = plan.driver_slots
         self.driver_dups = plan.driver_dups
         self.ops = ops
+        #: parallel to ``ops``: (predicate, sorted key positions) for
+        #: index-probe ops, None otherwise -- profiling metadata only
+        self.op_meta = op_meta
         self.head = head  # (predicate, argsrc, interned const ids)
         self.others = others
         self.invoked = False
+        self.profile = profile
 
     def fire(self, args: tuple[int, ...]) -> None:
         """Instantiate for one freshly derived driver atom."""
@@ -1067,7 +1158,10 @@ class _CompiledStreamRule:
 
     def _run(self, rows: list[list[int]]) -> None:
         stats = self.stats
-        for op in self.ops:
+        profile = self.profile
+        op_meta = self.op_meta
+        for op_index, op in enumerate(self.ops):
+            n_in = len(rows) if profile is not None else 0
             code = op[0]
             if code == _OP_BITS:
                 _, bits, s = op
@@ -1170,6 +1264,10 @@ class _CompiledStreamRule:
                 ]
                 stats.killed_by_extensional += len(rows) - len(kept)
                 rows = kept
+            if profile is not None:
+                meta = op_meta[op_index]
+                if meta is not None:
+                    profile.record_probe(meta[0], meta[1], n_in, len(rows))
             if not rows:
                 return
             stats.bindings_explored += len(rows)
@@ -1235,6 +1333,7 @@ def _compile_stream_rule(
     registry: BuiltinRegistry,
     sink: StreamingHorn,
     stats: GroundingStats,
+    profile: PlanProfile | None = None,
 ):
     """Resolve one plan against a structure: intern constants, fetch
     index/bitset/relation handles, statically resolve fully-constant
@@ -1244,6 +1343,7 @@ def _compile_stream_rule(
     intern = interner.intern
     value_of = interner.value_of
     ops: list[tuple] = []
+    op_meta: list = []
     for step in plan.steps:
         # relation steps compare interned ids; builtin steps see raw
         # values, so their constants must NOT be interned (that would
@@ -1262,6 +1362,19 @@ def _compile_stream_rule(
             return None
         if op is not None:
             ops.append(op)
+            op_meta.append(
+                (
+                    step.predicate,
+                    tuple(
+                        sorted(
+                            [p for p, _ in step.consts]
+                            + [p for p, _ in step.bound]
+                        )
+                    ),
+                )
+                if op[0] in (_OP_PROBE1, _OP_PROBE)
+                else None
+            )
 
     def interned_spec(spec):
         predicate, argsrc, const_values = spec
@@ -1280,6 +1393,8 @@ def _compile_stream_rule(
         pool,
         sink,
         stats,
+        profile,
+        tuple(op_meta),
     )
 
 
@@ -1289,6 +1404,14 @@ def _key_srcs(consts, bound):
     merged += [(pos, True, s) for pos, s in bound]
     merged.sort()
     return tuple((is_slot, v) for _, is_slot, v in merged)
+
+
+def _key_srcs_ordered(consts, bound, order):
+    """(is_slot, value) pairs following an explicit probe key order
+    (a shared lex index's chain column order)."""
+    by_pos = {pos: (False, cid) for pos, cid in consts}
+    by_pos.update({pos: (True, s) for pos, s in bound})
+    return tuple(by_pos[p] for p in order)
 
 
 def _compile_rel(step, consts, db: SetDatabase):
@@ -1321,21 +1444,28 @@ def _compile_rel(step, consts, db: SetDatabase):
         if not facts:
             return _DEAD
         return (_OP_SCAN, tuple(facts), step.free, step.dups)
-    index = db.index_for(step.predicate, key_positions)
-    if not index:
+    if not db.relation(step.predicate):
         return _DEAD
+    get, key_order = db.probe_plan(step.predicate, key_positions)
     if not step.bound:
         # constants-only key: resolve the probe now
-        if len(key_positions) == 1:
-            matches = index.get(consts[0][1])
+        by_pos = {pos: cid for pos, cid in consts}
+        if len(key_order) == 1:
+            matches = get(by_pos[key_order[0]])
         else:
-            matches = index.get(tuple(cid for _, cid in consts))
+            matches = get(tuple(by_pos[pos] for pos in key_order))
         if not matches:
             return _DEAD
         return (_OP_SCAN, tuple(matches), step.free, step.dups)
-    if len(key_positions) == 1:
-        return (_OP_PROBE1, index.get, step.bound[0][1], step.free, step.dups)
-    return (_OP_PROBE, index.get, _key_srcs(consts, step.bound), step.free, step.dups)
+    if len(key_order) == 1:
+        return (_OP_PROBE1, get, step.bound[0][1], step.free, step.dups)
+    return (
+        _OP_PROBE,
+        get,
+        _key_srcs_ordered(consts, step.bound, key_order),
+        step.free,
+        step.dups,
+    )
 
 
 def _compile_neg(step, consts, db: SetDatabase):
@@ -1409,6 +1539,7 @@ def ground_program_streamed(
     demand=None,
     relevant: frozenset[str] | None = None,
     meter=None,
+    profile: PlanProfile | None = None,
 ) -> StreamingHorn:
     """Stream demand-pruned ground instances into an online LTUR.
 
@@ -1444,6 +1575,8 @@ def ground_program_streamed(
         )
     sink = sink if sink is not None else StreamingHorn()
     stats = stats if stats is not None else GroundingStats()
+    if prepared.index_selection is not None:
+        db.use_index_selection(prepared.index_selection)
     if meter is not None:
         sink.meter = meter
         meter.check(stats.ground_rules)
@@ -1457,7 +1590,7 @@ def ground_program_streamed(
             stats.rules_pruned += 1
             continue
         compiled = _compile_stream_rule(
-            plan, db, pool, prepared.registry, sink, stats
+            plan, db, pool, prepared.registry, sink, stats, profile
         )
         if compiled is None:
             stats.rules_pruned += 1
@@ -1474,12 +1607,14 @@ def ground_program_streamed(
     atom_of = pool.atom_of
     take_fresh = sink.take_fresh
     get_driven = driven.get
+    rounds = 0
     while True:
         if meter is not None:
             meter.check(stats.ground_rules)
         fresh = take_fresh()
         if not fresh:
             break
+        rounds += 1
         # batch the round's driver events per predicate, then hand each
         # driven rule its whole batch in one call: the rule's op list
         # is walked once per (rule, round) instead of once per event
@@ -1500,6 +1635,9 @@ def ground_program_streamed(
     stats.peak_live_rules = max(
         stats.peak_live_rules, sink.peak_live_rules
     )
+    if profile is not None:
+        profile.record_sizes(db)
+        profile.record_rounds(rounds)
     return sink
 
 

@@ -206,6 +206,7 @@ def magic_rewrite(
     program: Program,
     query: "Atom | str",
     registry: BuiltinRegistry | None = None,
+    cost=None,
 ) -> MagicRewrite:
     """Rewrite ``program`` so bottom-up evaluation answers only ``query``.
 
@@ -213,6 +214,10 @@ def magic_rewrite(
     predicate ``<q>@a`` whose facts are exactly the facts of ``<q>``
     relevant to the demanded bindings (a superset of the facts matching
     the query's constants, and a subset of the full extent of ``<q>``).
+
+    ``cost`` (a :class:`~repro.datalog.profile.CostModel`) feeds the
+    sideways-information-passing order: demand then flows along the
+    replanned join order, the same one the rewritten program will run.
     """
     registry = registry if registry is not None else standard_registry()
     query_atom = normalize_query(program, query)
@@ -252,7 +257,7 @@ def magic_rewrite(
                     if c == "b" and isinstance(arg, Variable)
                 }
                 plan = plan_rule(
-                    rule, idb, registry, initial_bound=head_bound
+                    rule, idb, registry, initial_bound=head_bound, cost=cost
                 )
                 magic_head = Literal(
                     Atom(

@@ -34,6 +34,7 @@ the ``semi-naive-tuple`` backend for the ablation benchmark.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from itertools import repeat
 from typing import Iterable
@@ -50,16 +51,81 @@ from .evaluate import (
     prepare_program,
 )
 from .interning import Interner, iter_bits
+from .profile import IndexSelection, PlanProfile
 
 __all__ = [
     "Batch",
     "BitBatch",
+    "IndexStats",
     "SetDatabase",
     "SetSemiNaiveEvaluator",
     "set_least_fixpoint",
 ]
 
 _EMPTY_SET: frozenset = frozenset()
+
+#: upper sentinel for lexicographic prefix probes: compares greater
+#: than every interned id (ids are ints)
+_SUP = float("inf")
+
+
+@dataclass
+class IndexStats:
+    """Index build accounting for one :class:`SetDatabase`.
+
+    ``rebuilds`` counts builds of a ``(predicate, positions)`` pattern
+    that had already been built on this database -- i.e. an index that
+    was invalidated and paid for again.  A healthy fixpoint keeps this
+    flat: `copy_relation` extends existing indexes incrementally
+    instead of dropping them, so churny delta rounds never rebuild."""
+
+    builds: int = 0
+    rebuilds: int = 0
+    lex_builds: int = 0
+    lex_rebuilds: int = 0
+
+
+class _LexIndex:
+    """One shared lexicographic index: the relation's facts sorted by a
+    column permutation.  Every search signature covered by the owning
+    MinChainCover chain probes the same sorted array on a key *prefix*
+    (two binary searches per probe), which is what lets one index
+    replace a hash index per access pattern."""
+
+    __slots__ = ("order", "keys", "rows")
+
+    def __init__(
+        self, order: tuple[int, ...], facts: Iterable[tuple[int, ...]]
+    ):
+        pairs = sorted(
+            (tuple(f[p] for p in order), f) for f in facts
+        )
+        self.order = order
+        self.keys = [key for key, _ in pairs]
+        self.rows = [row for _, row in pairs]
+
+    def prober(self, prefix_len: int):
+        """A ``get`` callable probing on the first ``prefix_len`` lex
+        columns; takes a bare id when ``prefix_len == 1`` (matching the
+        single-position hash-index contract), a tuple otherwise.
+        Returns the matching rows or None."""
+        keys = self.keys
+        rows = self.rows
+        if prefix_len == 1:
+
+            def get(value):
+                lo = bisect_left(keys, (value,))
+                hi = bisect_left(keys, (value, _SUP), lo)
+                return rows[lo:hi] if hi > lo else None
+
+        else:
+
+            def get(key):
+                lo = bisect_left(keys, key)
+                hi = bisect_left(keys, key + (_SUP,), lo)
+                return rows[lo:hi] if hi > lo else None
+
+        return get
 
 
 # ----------------------------------------------------------------------
@@ -78,7 +144,16 @@ class SetDatabase:
     evaluator operate on.
     """
 
-    __slots__ = ("interner", "_facts", "_bits", "_indexes")
+    __slots__ = (
+        "interner",
+        "_facts",
+        "_bits",
+        "_indexes",
+        "_lex",
+        "_selection",
+        "_ever_built",
+        "index_stats",
+    )
 
     def __init__(self, interner: Interner | None = None):
         self.interner = interner if interner is not None else Interner()
@@ -87,6 +162,14 @@ class SetDatabase:
         #: predicate -> {positions -> {key -> rows}}; keys are scalar
         #: ids for single-position indexes, tuples otherwise.
         self._indexes: dict[str, dict[tuple[int, ...], dict]] = {}
+        #: predicate -> {lex column order -> _LexIndex} (built lazily
+        #: when an installed IndexSelection routes a probe here)
+        self._lex: dict[str, dict[tuple[int, ...], _LexIndex]] = {}
+        self._selection: IndexSelection | None = None
+        #: (predicate, positions) patterns ever built on this database
+        #: -- a second build of the same pattern is a rebuild
+        self._ever_built: set = set()
+        self.index_stats = IndexStats()
 
     @classmethod
     def from_edb(
@@ -194,6 +277,8 @@ class SetDatabase:
                 else:
                     key = tuple(args[i] for i in positions)
                 index.setdefault(key, []).append(args)
+        if self._lex and predicate in self._lex:
+            del self._lex[predicate]
 
     def add(self, predicate: str, args: tuple[int, ...]) -> bool:
         """Insert an interned fact; True iff new."""
@@ -213,6 +298,8 @@ class SetDatabase:
                 else:
                     key = tuple(args[i] for i in positions)
                 index.setdefault(key, []).append(args)
+        if self._lex and predicate in self._lex:
+            del self._lex[predicate]
         return True
 
     def relation(self, predicate: str) -> set[tuple[int, ...]]:
@@ -228,6 +315,26 @@ class SetDatabase:
     def fact_count(self) -> int:
         return sum(len(rel) for rel in self._facts.values())
 
+    def predicates(self):
+        return iter(self._facts)
+
+    def _check_positions(
+        self, predicate: str, positions: tuple[int, ...]
+    ) -> None:
+        """Validate index positions against the relation's arity at
+        build time (an out-of-range position would otherwise silently
+        produce an empty index and empty join results)."""
+        rel = self._facts.get(predicate)
+        if not rel:
+            return  # empty relation: arity unknown, nothing to probe
+        arity = len(next(iter(rel)))
+        bad = [p for p in positions if p < 0 or p >= arity]
+        if bad:
+            raise ValueError(
+                f"index positions {bad} out of range for predicate "
+                f"{predicate!r} of arity {arity}"
+            )
+
     def index_for(self, predicate: str, positions: tuple[int, ...]) -> dict:
         """The hash index of ``predicate`` on ``positions``; built
         lazily, maintained incrementally by :meth:`add`.  Single-
@@ -236,6 +343,14 @@ class SetDatabase:
         per_pred = self._indexes.setdefault(predicate, {})
         index = per_pred.get(positions)
         if index is None:
+            self._check_positions(predicate, positions)
+            stats = self.index_stats
+            stats.builds += 1
+            pattern = (predicate, positions)
+            if pattern in self._ever_built:
+                stats.rebuilds += 1
+            else:
+                self._ever_built.add(pattern)
             index = {}
             if len(positions) == 1:
                 p = positions[0]
@@ -247,6 +362,50 @@ class SetDatabase:
                     index.setdefault(key, []).append(args)
             per_pred[positions] = index
         return index
+
+    def use_index_selection(self, selection: IndexSelection | None) -> None:
+        """Install a MinIndexSelection result: search signatures it
+        covers with a shared lexicographic index resolve through
+        :meth:`probe_plan` to prefix probes of one `_LexIndex` per
+        chain; uncovered signatures keep per-pattern hash indexes."""
+        self._selection = selection
+
+    def _lex_for(
+        self, predicate: str, order: tuple[int, ...]
+    ) -> _LexIndex:
+        per_pred = self._lex.setdefault(predicate, {})
+        lex = per_pred.get(order)
+        if lex is None:
+            self._check_positions(predicate, order)
+            stats = self.index_stats
+            stats.lex_builds += 1
+            pattern = (predicate, ("lex",) + order)
+            if pattern in self._ever_built:
+                stats.lex_rebuilds += 1
+            else:
+                self._ever_built.add(pattern)
+            lex = _LexIndex(order, self._facts.get(predicate, ()))
+            per_pred[order] = lex
+        return lex
+
+    def probe_plan(self, predicate: str, positions: tuple[int, ...]):
+        """Resolve a search signature to ``(get, key_order)``.
+
+        ``get`` maps a probe key to matching rows (or None);
+        ``key_order`` lists the positions in the order the key tuple
+        must be assembled -- sorted positions for a hash index, the
+        chain's lexicographic column order for a shared lex index.  A
+        bare id is accepted instead of a 1-tuple when the key has one
+        position (both index kinds honour the single-position
+        fast path)."""
+        selection = self._selection
+        if selection is not None:
+            spec = selection.probe_spec(predicate, positions)
+            if spec is not None:
+                order, prefix_len = spec
+                lex = self._lex_for(predicate, order)
+                return lex.prober(prefix_len), order[:prefix_len]
+        return self.index_for(predicate, positions).get, positions
 
     def decode_relation(self, predicate: str) -> set[tuple]:
         """Decode one relation to raw-value tuples (the lazy boundary:
@@ -263,24 +422,42 @@ class SetDatabase:
         interned-id space, and in bulk: the fact set is copied/unioned
         at C speed like :meth:`snapshot` (the old tuple-at-a-time loop
         through :meth:`add` re-maintained bitsets and indexes per
-        fact), the unary bitset is OR-ed in one big-int op, and any
-        existing hash indexes of ``dst`` are invalidated once --
-        :meth:`index_for` rebuilds them lazily on next use.  This is
-        how the magic backend surfaces adorned answers under the
-        original predicate name without decoding at the backend
-        boundary."""
+        fact), and the unary bitset is OR-ed in one big-int op.  Any
+        existing hash indexes of ``dst`` are *extended* with the facts
+        the union actually added (this used to invalidate them
+        wholesale, so every copy/probe cycle rebuilt ``dst``'s indexes
+        from scratch -- `IndexStats.rebuilds` now stays flat across
+        such churn).  This is how the magic backend surfaces adorned
+        answers under the original predicate name without decoding at
+        the backend boundary."""
         src_rel = self._facts.get(src)
         if not src_rel:
             return
         dst_rel = self._facts.get(dst)
         if dst_rel:
-            dst_rel |= src_rel
+            fresh: "set | frozenset" = src_rel - dst_rel
+            dst_rel |= fresh
         else:
+            fresh = src_rel
             self._facts[dst] = set(src_rel)
+        if not fresh:
+            return
         src_bits = self._bits.get(src)
         if src_bits is not None:
             self._bits[dst] = self._bits.get(dst, 0) | src_bits
-        self._indexes.pop(dst, None)
+        indexes = self._indexes.get(dst)
+        if indexes:
+            for positions, index in indexes.items():
+                if len(positions) == 1:
+                    p = positions[0]
+                    for args in fresh:
+                        index.setdefault(args[p], []).append(args)
+                else:
+                    for args in fresh:
+                        key = tuple(args[i] for i in positions)
+                        index.setdefault(key, []).append(args)
+        if self._lex and dst in self._lex:
+            del self._lex[dst]  # sorted arrays rebuild lazily
 
     def decode(self) -> Database:
         """Materialize a plain value-level :class:`Database`."""
@@ -478,6 +655,8 @@ class SetSemiNaiveEvaluator:
         program: Program,
         registry: BuiltinRegistry | None = None,
         prepared: PreparedProgram | None = None,
+        profile: PlanProfile | None = None,
+        apply_index_selection: bool = True,
     ):
         if prepared is None:
             prepared = prepare_program(program, registry)
@@ -487,6 +666,11 @@ class SetSemiNaiveEvaluator:
         self.idb = prepared.idb
         self.strata = list(prepared.strata)
         self.stats = EvaluationStats()
+        #: set to a PlanProfile to record per-step cardinalities and
+        #: per-signature probe fanout during :meth:`run` (the
+        #: profiling half of the profile -> replan loop)
+        self.profile = profile
+        self._apply_selection = apply_index_selection
         self._steps = tuple(
             _compile_steps(rule, plan)
             for rule, plan in zip(prepared.program.rules, prepared.plans)
@@ -494,12 +678,34 @@ class SetSemiNaiveEvaluator:
         self._heads = tuple(
             _compile_head(rule.head) for rule in prepared.program.rules
         )
+        #: per (rule, step): the probe step's (predicate, sorted key
+        #: positions) search signature, or None for non-probe steps --
+        #: what the profiler keys probe counts by
+        self._probe_sigs = tuple(
+            tuple(
+                (
+                    cstep.predicate,
+                    tuple(
+                        sorted(
+                            [p for p, _ in cstep.consts]
+                            + [p for p, _ in cstep.bound]
+                        )
+                    ),
+                )
+                if cstep.kind == "relation"
+                and cstep.free
+                and (cstep.consts or cstep.bound)
+                else None
+                for cstep in steps
+            )
+            for steps in self._steps
+        )
 
     @classmethod
     def from_prepared(
-        cls, prepared: PreparedProgram
+        cls, prepared: PreparedProgram, **kwargs
     ) -> "SetSemiNaiveEvaluator":
-        return cls(prepared.program, prepared=prepared)
+        return cls(prepared.program, prepared=prepared, **kwargs)
 
     # -- public API -----------------------------------------------------
 
@@ -512,6 +718,11 @@ class SetSemiNaiveEvaluator:
     def run(self, db: SetDatabase) -> SetDatabase:
         """The fixpoint over an already-interned database (kept
         interned; :meth:`evaluate` is the decoding wrapper)."""
+        if (
+            self._apply_selection
+            and self.prepared.index_selection is not None
+        ):
+            db.use_index_selection(self.prepared.index_selection)
         for stratum_plan in self.prepared.stratum_plans:
             # round 0: every rule once against the current database
             delta = db.spawn_delta()
@@ -535,6 +746,9 @@ class SetSemiNaiveEvaluator:
                         )
                 self._flush(db, new_delta, derived)
                 delta = new_delta
+        if self.profile is not None:
+            self.profile.record_sizes(db)
+            self.profile.record_rounds(self.stats.iterations)
         return db
 
     def _flush(
@@ -562,20 +776,31 @@ class SetSemiNaiveEvaluator:
         delta: SetDatabase | None,
     ) -> None:
         batch: Batch | BitBatch = Batch({}, 1)
-        for cstep in self._steps[rule_index]:
+        profile = self.profile
+        stats = self.stats
+        for step_index, cstep in enumerate(self._steps[rule_index]):
+            n_in = _size(batch) if profile is not None else 0
+            from_delta = (
+                delta_index is not None
+                and cstep.body_index == delta_index
+            )
             if cstep.kind == "relation":
-                source = (
-                    delta
-                    if delta_index is not None
-                    and cstep.body_index == delta_index
-                    else db
-                )
+                source = delta if from_delta else db
                 batch = self._join(batch, cstep, source, db.interner)
             elif cstep.kind == "builtin":
                 batch = self._builtin(batch, cstep, db.interner)
             else:
                 batch = self._negate(batch, cstep, db)
-            if not _size(batch):
+            n_out = _size(batch)
+            stats.bindings_explored += n_out
+            if profile is not None:
+                profile.record_step(rule_index, step_index, n_in, n_out)
+                sig = self._probe_sigs[rule_index][step_index]
+                if sig is not None and not from_delta:
+                    # fanout of the full relation only: a delta probe's
+                    # hit rate says nothing about the stored index
+                    profile.record_probe(sig[0], sig[1], n_in, n_out)
+            if not n_out:
                 return
         self._project(rule_index, batch, db.interner, out)
 
@@ -693,13 +918,16 @@ class SetSemiNaiveEvaluator:
                         append(fact[pos])
             return Batch(out_columns, n * len(facts))
 
-        # relation-level hash join: one index per step, probed per row
-        index = source.index_for(predicate, key_positions)
+        # relation-level join: one index probe handle per step, probed
+        # per row.  probe_plan resolves the search signature to either
+        # the per-pattern hash index or a shared lexicographic index
+        # (key assembled in the chain's column order, not sorted order)
+        get, key_order = source.probe_plan(predicate, key_positions)
         by_pos: dict[int, object] = {pos: cid for pos, cid in consts}
         for pos, var in cstep.bound:
             by_pos[pos] = columns[var]
-        if len(key_positions) == 1:
-            key_source = by_pos[key_positions[0]]
+        if len(key_order) == 1:
+            key_source = by_pos[key_order[0]]
             keys = (
                 repeat(key_source, n)
                 if not isinstance(key_source, list)
@@ -711,7 +939,7 @@ class SetSemiNaiveEvaluator:
                     repeat(by_pos[pos], n)
                     if not isinstance(by_pos[pos], list)
                     else by_pos[pos]
-                    for pos in key_positions
+                    for pos in key_order
                 )
             )
 
@@ -729,7 +957,6 @@ class SetSemiNaiveEvaluator:
             for pos, var in cstep.free
             if var in live
         ]
-        get = index.get
         count = 0
         for r, key in enumerate(keys):
             matches = get(key)

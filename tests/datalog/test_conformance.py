@@ -30,11 +30,13 @@ from hypothesis import given, strategies as st
 from repro.datalog import (
     Atom,
     Constant,
+    CostModel,
     GroundingStats,
     InternPool,
     Literal,
     MagicSetBackend,
     NotGroundableError,
+    PlanProfile,
     Program,
     ProgramCache,
     Rule,
@@ -47,7 +49,9 @@ from repro.datalog import (
     horn_least_model,
     horn_least_model_ids,
     is_magic_predicate,
+    normalize_query,
     prepare_grounding,
+    prepare_program,
     solve,
 )
 from repro.datalog.setengine import SetSemiNaiveEvaluator
@@ -267,6 +271,79 @@ class TestStreamedGroundingAgreement:
         assert got == want
         # everything derived sits inside the relevance cone, never more
         assert streamed <= eager
+
+
+class TestReplannedConformance:
+    """The PR 8 differential: the profile -> replan -> re-index loop is
+    observation-preserving.  A profile recorded from a static run feeds
+    the cost model; the replanned (and minimally indexed) plans must
+    derive exactly the static model on every route -- the set engine
+    with and without shared lex indexes, the magic rewrite whose SIPS
+    follows the replanned order, and both quasi-guarded modes."""
+
+    @staticmethod
+    def _profiled_reference(program, db):
+        profile = PlanProfile()
+        evaluator = SetSemiNaiveEvaluator(
+            program, profile=profile, apply_index_selection=False
+        )
+        reference = _derived_relations(evaluator.evaluate(db), program)
+        return profile, reference
+
+    @given(program=monadic_programs(), db=datalog_databases())
+    def test_replanned_set_engine_matches_static(self, program, db):
+        profile, reference = self._profiled_reference(program, db)
+        replanned = prepare_program(program, cost=CostModel(profile))
+        with_selection = _derived_relations(
+            SetSemiNaiveEvaluator.from_prepared(replanned).evaluate(db),
+            program,
+        )
+        assert with_selection == reference
+        without_selection = _derived_relations(
+            SetSemiNaiveEvaluator.from_prepared(
+                replanned, apply_index_selection=False
+            ).evaluate(db),
+            program,
+        )
+        assert without_selection == reference
+
+    @given(program=monadic_programs(), db=datalog_databases(), data=st.data())
+    def test_replanned_magic_matches_full_extent(self, program, db, data):
+        profile, reference = self._profiled_reference(program, db)
+        predicate = data.draw(
+            st.sampled_from(sorted(program.intensional_predicates())),
+            label="query predicate",
+        )
+        rewrite, prepared = ProgramCache().magic(
+            program, normalize_query(program, predicate), profile=profile
+        )
+        derived = SetSemiNaiveEvaluator.from_prepared(prepared).evaluate(db)
+        assert (
+            derived.relation(rewrite.answer_predicate)
+            == reference[predicate]
+        )
+
+    @given(program=monadic_programs(), db=datalog_databases())
+    def test_replanned_quasi_guarded_modes_match_static(self, program, db):
+        from repro.core import QuasiGuardedEvaluator
+
+        profile, reference = self._profiled_reference(program, db)
+        for mode in ("streamed", "eager"):
+            try:
+                evaluator = QuasiGuardedEvaluator(
+                    program,
+                    mode=mode,
+                    replan=profile,
+                    require_quasi_guarded=False,
+                    cache=ProgramCache(),
+                )
+            except NotGroundableError:
+                return  # outside the Theorem 4.4 fragment: nothing to pin
+            facts = evaluator.evaluate(db).facts
+            for predicate, want in reference.items():
+                assert {
+                    f.args for f in facts if f.predicate == predicate
+                } == want, (mode, predicate)
 
 
 class TestSolveManySharding:

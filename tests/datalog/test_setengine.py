@@ -376,3 +376,51 @@ class TestCopyRelation:
         db.copy_relation("missing", "dst")
         assert db.relation("dst") == {(7,)}
         assert db.relation("missing") == set()
+
+
+class TestIndexStatsAndValidation:
+    def test_out_of_range_positions_raise(self):
+        db = SetDatabase.from_edb(chain_edges(4))
+        with pytest.raises(ValueError, match="out of range"):
+            db.index_for("edge", (0, 2))
+        with pytest.raises(ValueError, match="out of range"):
+            db.index_for("edge", (-1,))
+
+    def test_empty_relation_defers_validation(self):
+        # arity is unknown until a fact arrives; a (possibly bad)
+        # pattern on an empty relation yields an empty index, and the
+        # first add does not retroactively validate it
+        db = SetDatabase()
+        assert db.index_for("later", (5,)) == {}
+
+    def test_builds_and_rebuilds_are_counted(self):
+        db = SetDatabase.from_edb(chain_edges(4))
+        db.index_for("edge", (0,))
+        db.index_for("edge", (0,))  # cached: no second build
+        assert db.index_stats.builds == 1
+        assert db.index_stats.rebuilds == 0
+        # copy_relation extends the existing index in place, so a
+        # re-request is still the same build
+        db2 = SetDatabase.from_edb(chain_edges(3))
+        db2.copy_relation("edge", "edge2")
+        db2.index_for("edge2", (0,))
+        db2.copy_relation("edge", "edge2")
+        db2.index_for("edge2", (0,))
+        assert db2.index_stats.rebuilds == 0
+
+    def test_fixpoint_never_rebuilds_an_index(self):
+        # the satellite bugfix: delta rounds used to invalidate and
+        # rebuild per-pattern indexes; a healthy fixpoint builds each
+        # pattern exactly once
+        program = parse_program(
+            """
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- path(X, Y), edge(Y, Z).
+            """
+        )
+        evaluator = SetSemiNaiveEvaluator(program)
+        db = evaluator.run(SetDatabase.from_edb(chain_edges(20)))
+        assert len(db.relation("path")) == 20 * 19 // 2
+        assert db.index_stats.builds > 0
+        assert db.index_stats.rebuilds == 0
+        assert db.index_stats.lex_rebuilds == 0
