@@ -383,7 +383,7 @@ def run_comparison(quick, repeat=3):
 # eager interned ablation vs raw values -- on chain/grid/tree families.
 # ----------------------------------------------------------------------
 
-SCHEMA_VERSION = "bench-engine/v6"
+SCHEMA_VERSION = "bench-engine/v7"
 
 SOLVER_BACKENDS = [
     "quasi-guarded",
@@ -1010,15 +1010,17 @@ def build_payload(
     planner_results=None,
     service_throughput=None,
     service_resilience=None,
+    admission=None,
 ):
     """The machine-readable perf trajectory consumed by later PRs.
 
     ``solver_speedups`` records the eager-vs-streamed grounding ratio;
-    the service sections -- ``service_throughput`` (v4) and
-    ``service_resilience`` (v5, the fault-injection goodput record) --
-    are *owned* by ``bench_solver_service.py``; this harness carries
-    the checked-in records through unchanged so the benchmarks can
-    regenerate the baseline in either order."""
+    the service sections -- ``service_throughput`` (v4),
+    ``service_resilience`` (v5, the fault-injection goodput record)
+    and ``admission`` (v7, the untrusted-input overhead + containment
+    record) -- are *owned* by ``bench_solver_service.py``; this
+    harness carries the checked-in records through unchanged so the
+    benchmarks can regenerate the baseline in either order."""
     payload = {
         "schema": SCHEMA_VERSION,
         "benchmark": "benchmarks/bench_datalog_engine.py",
@@ -1064,6 +1066,8 @@ def build_payload(
         payload["service_throughput"] = service_throughput
     if service_resilience is not None:
         payload["service_resilience"] = service_resilience
+    if admission is not None:
+        payload["admission"] = admission
     return payload
 
 
@@ -1166,6 +1170,9 @@ def main(argv=None) -> int:
             previous.get("service_resilience")
             if previous is not None
             else None
+        ),
+        admission=(
+            previous.get("admission") if previous is not None else None
         ),
     )
     failures.extend(check_baseline_drift(previous, payload))

@@ -17,7 +17,7 @@ Frochaux-Schweikardt unranked-tree workloads in PAPERS.md motivate):
   here, never on the request path.
 
 Measured, and recorded as ``service_throughput`` in
-``BENCH_engine.json`` (schema ``bench-engine/v6``):
+``BENCH_engine.json`` (schema ``bench-engine/v7``):
 
 1. **serial**: the in-process loop over the whole traffic (the
    baseline the service must beat);
@@ -53,6 +53,17 @@ counters.  CI-gated contracts: the answers under injected crashes are
 identical to the serial in-process loop (the 1-vs-N identity gate,
 now under fire), no request fails, the fault plan demonstrably fired
 (>= 1 worker restart), and the recovery percentiles are sane.
+
+``--admission`` switches to the **untrusted-input** mode (the v7
+tentpole): clean width-1 traffic is solved by the legacy trusting path
+and again with ``admission="repair"`` active (best of 3 each), and the
+checked-in malformed corpus (``tests/data/malformed``) is replayed
+through a ``SolverService(admission="degrade")``.  The ``admission``
+section records the clean-traffic overhead ratio and the containment
+counters.  CI-gated contracts: admission-on answers are identical to
+the legacy path and cost at most 1.05x on clean traffic; every corpus
+request resolves (answer or typed ``AdmissionRejected``) with exactly
+the verdicts the cases declare; and zero workers die doing it.
 """
 
 import argparse
@@ -73,7 +84,7 @@ BENCH_JSON = REPO_ROOT / "BENCH_engine.json"
 
 #: must match bench_datalog_engine.SCHEMA_VERSION -- both harnesses
 #: write sections of the same baseline file
-ENGINE_SCHEMA = "bench-engine/v6"
+ENGINE_SCHEMA = "bench-engine/v7"
 
 #: the acceptance gate: at >= GATE_WORKERS workers on >= GATE_WORKERS
 #: cores, the service must clear GATE_SPEEDUP x the serial loop
@@ -86,6 +97,15 @@ GATE_SPEEDUP = 3.0
 #: within the retry cap)
 RESILIENCE_FAULTS = "crash@worker.solve+1"
 RESILIENCE_RETRIES = 8
+
+#: the admission mode's clean-traffic overhead gate: admission-on
+#: solves may cost at most 5% over the legacy trusting path (best of
+#: ADMISSION_REPEATS runs each, so scheduler noise cannot fail CI)
+ADMISSION_OVERHEAD_LIMIT = 1.05
+ADMISSION_REPEATS = 3
+
+#: the malformed-input corpus the containment half replays
+CORPUS_DIR = REPO_ROOT / "tests" / "data" / "malformed"
 
 
 # ----------------------------------------------------------------------
@@ -456,6 +476,151 @@ def check_resilience_contracts(record):
 
 
 # ----------------------------------------------------------------------
+# Admission mode (--admission): clean-traffic overhead + containment
+# ----------------------------------------------------------------------
+
+
+def build_admission_record(quick, workers):
+    """The ``admission`` section (v7): two halves.
+
+    **Overhead** -- the same clean width-1 traffic solved by the legacy
+    trusting path and again with ``admission="repair"`` active, best of
+    ``ADMISSION_REPEATS`` runs each.  Clean inputs take the
+    verification fast path, so the ratio is the price every trusting
+    caller pays for the ladder's existence; CI gates it at
+    ``ADMISSION_OVERHEAD_LIMIT``.
+
+    **Containment** -- the checked-in malformed corpus
+    (``tests/data/malformed``) replayed through a live
+    ``SolverService(admission="degrade")``: every request must resolve
+    (an answer or a typed ``AdmissionRejected``), no worker may die.
+    """
+    from repro.admission import load_corpus
+    from repro.errors import AdmissionRejected
+
+    solver = build_width1_solver()
+    structures = build_resilience_traffic(quick)
+
+    legacy_runs, admitted_runs = [], []
+    legacy_results = admitted_results = None
+    for _ in range(ADMISSION_REPEATS):
+        t0 = time.perf_counter()
+        legacy_results = [solver.query(s) for s in structures]
+        legacy_runs.append((time.perf_counter() - t0) * 1000.0)
+        t0 = time.perf_counter()
+        admitted_results = [
+            solver.query(s, admission="repair") for s in structures
+        ]
+        admitted_runs.append((time.perf_counter() - t0) * 1000.0)
+    legacy_ms, admitted_ms = min(legacy_runs), min(admitted_runs)
+
+    cases = load_corpus(CORPUS_DIR)
+    from repro.service import SolverService
+
+    resolved = rejected = 0
+    verdict_expectations_met = True
+    with SolverService(workers=workers, admission="degrade") as service:
+        handle = service.register(solver)
+        futures = [
+            handle.submit(case["structure"], td=case["td"])
+            for case in cases
+        ]
+        for case, future in zip(cases, futures):
+            try:
+                future.result(timeout=300)
+                resolved += 1
+                if case["expect"] == "rejected":
+                    verdict_expectations_met = False
+            except AdmissionRejected:
+                resolved += 1
+                rejected += 1
+                if case["expect"] != "rejected":
+                    verdict_expectations_met = False
+        stats = service.stats
+    return {
+        "schema_note": "admission section of " + ENGINE_SCHEMA,
+        "quick": quick,
+        "workers": workers,
+        "cpu_count": effective_cpus(),
+        "overhead": {
+            "requests": len(structures),
+            "repeats": ADMISSION_REPEATS,
+            "legacy_ms": round(legacy_ms, 3),
+            "admission_ms": round(admitted_ms, 3),
+            "ratio": round(admitted_ms / legacy_ms, 4) if legacy_ms else None,
+            "limit": ADMISSION_OVERHEAD_LIMIT,
+            "identical": admitted_results == legacy_results,
+        },
+        "containment": {
+            "corpus": str(CORPUS_DIR.relative_to(REPO_ROOT)),
+            "requests": len(cases),
+            "resolved": resolved,
+            "rejected": rejected,
+            "expected_rejected": sum(
+                1 for c in cases if c["expect"] == "rejected"
+            ),
+            "verdicts_as_declared": verdict_expectations_met,
+            "worker_restarts": stats.worker_restarts,
+            "stats": {
+                "admitted": stats.admitted,
+                "repaired": stats.repaired,
+                "degraded": stats.degraded,
+                "admission_rejected": stats.admission_rejected,
+            },
+        },
+    }
+
+
+def check_admission_contracts(record):
+    """The CI gate over an ``admission`` record; pure, so the test
+    suite exercises it on synthetic records.
+
+    Three unconditional contracts: admission-on answers are identical
+    to the legacy path on clean traffic and cost at most the gated
+    overhead ratio; every malformed-corpus request resolved (to an
+    answer or a typed rejection) with exactly the declared verdicts;
+    and zero workers died doing it.
+    """
+    failures = []
+    overhead = record.get("overhead", {})
+    if not overhead.get("identical"):
+        failures.append(
+            "admission-on answers differ from the legacy path on "
+            "clean traffic"
+        )
+    ratio = overhead.get("ratio")
+    limit = overhead.get("limit", ADMISSION_OVERHEAD_LIMIT)
+    if ratio is None or ratio > limit:
+        failures.append(
+            f"clean-traffic admission overhead {ratio}x exceeds the "
+            f"{limit}x gate"
+        )
+    containment = record.get("containment", {})
+    if containment.get("resolved") != containment.get("requests"):
+        failures.append(
+            f"hung/abandoned corpus requests: "
+            f"{containment.get('resolved')} of "
+            f"{containment.get('requests')} resolved"
+        )
+    if containment.get("rejected") != containment.get("expected_rejected"):
+        failures.append(
+            f"corpus rejections {containment.get('rejected')} != "
+            f"expected {containment.get('expected_rejected')}"
+        )
+    if not containment.get("verdicts_as_declared"):
+        failures.append(
+            "corpus verdicts diverged from the cases' declared "
+            "expectations"
+        )
+    if containment.get("worker_restarts", 1):
+        failures.append(
+            f"{containment.get('worker_restarts')} worker restarts -- "
+            "malformed input must never kill a worker"
+        )
+    return failures
+
+
+# ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
 
@@ -519,6 +684,15 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--admission",
+        action="store_true",
+        help=(
+            "admission mode: gate clean-traffic overhead at "
+            f"{ADMISSION_OVERHEAD_LIMIT}x and replay the malformed "
+            "corpus through a degrade-policy service, record admission"
+        ),
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=GATE_WORKERS,
@@ -561,6 +735,48 @@ def main(argv=None) -> int:
         for failure in failures:
             print(f"  - {failure}")
         return 1
+
+    if args.admission:
+        record = build_admission_record(args.quick, args.workers)
+        failures = check_admission_contracts(record)
+        overhead = record["overhead"]
+        containment = record["containment"]
+        print("solver service admission (untrusted-input ladder)")
+        print(
+            f"  overhead:      legacy {overhead['legacy_ms']:.0f} ms vs "
+            f"admission {overhead['admission_ms']:.0f} ms over "
+            f"{overhead['requests']} clean solves "
+            f"({overhead['ratio']}x, gate {overhead['limit']}x)"
+        )
+        print(
+            f"  containment:   {containment['resolved']}/"
+            f"{containment['requests']} corpus requests resolved, "
+            f"{containment['rejected']} rejected "
+            f"(expected {containment['expected_rejected']}), "
+            f"{containment['worker_restarts']} worker restarts"
+        )
+        print(
+            f"  verdicts:      {containment['stats']['admitted']} admitted, "
+            f"{containment['stats']['repaired']} repaired, "
+            f"{containment['stats']['degraded']} degraded, "
+            f"{containment['stats']['admission_rejected']} rejected"
+        )
+        baseline["admission"] = record
+        args.out.write_text(
+            json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"\nupdated {args.out} (admission)")
+        if failures:
+            print("\nCONTRACT VIOLATIONS:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(
+            "\nok: clean-traffic overhead within the gate; the whole "
+            "malformed corpus resolved with the declared verdicts and "
+            "zero worker deaths"
+        )
+        return 0
 
     if args.faults:
         record = build_resilience_record(args.quick, args.workers)

@@ -12,9 +12,11 @@ See README.md for a tour and DESIGN.md for the system inventory.
 """
 
 from . import (
+    admission,
     bench,
     core,
     datalog,
+    errors,
     fta,
     mso,
     problems,
@@ -26,9 +28,11 @@ from . import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "admission",
     "bench",
     "core",
     "datalog",
+    "errors",
     "fta",
     "mso",
     "problems",

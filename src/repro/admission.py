@@ -1,0 +1,782 @@
+"""Untrusted-input admission control: verify, repair, degrade, reject.
+
+Theorem 4.4's linear-time guarantee presupposes that every structure
+arrives well-formed *and* with a valid width-<=k tree decomposition --
+a precondition production traffic violates constantly.  This module is
+the layer every solve path routes through before the Theorem 4.4
+pipeline sees the input.  The policy ladder:
+
+1. **Verify.**  :func:`verify_structure` checks the structure against
+   the compiled signature (unknown predicates, arity mismatches,
+   domain closure -- and survives arbitrarily corrupt duck-typed
+   objects); :func:`verify_decomposition` checks tree integrity
+   (cycles, orphans, missing bags -- with its own cycle-safe traversal,
+   since a corrupted ``RootedTree`` can make ``preorder()`` spin
+   forever) and then the Section 2.2 axioms, collecting **all**
+   violations as structured :class:`repro.errors.Violation` records.
+2. **Repair.**  :func:`repair_decomposition` fixes repairable
+   decompositions in place: drops alien bag elements, covers missed
+   elements and tuples with fresh leaf bags, splices connectedness
+   violations along Steiner paths, and widens under-width trees.  When
+   in-place repair fails (or no decomposition was supplied),
+   :func:`redecompose` rebuilds one from scratch via the
+   :mod:`repro.treewidth.heuristics` orderings, escalating through
+   strategies under a time budget.
+3. **Degrade.**  When the width still exceeds the compiled envelope,
+   policy ``"degrade"`` falls back to direct MSO evaluation
+   (:mod:`repro.mso.eval`) under a :class:`repro.datalog.SolveBudget`
+   (bridged by :class:`MeterBudget`); only then is the request rejected
+   with a typed :class:`repro.errors.AdmissionRejected` carrying the
+   full :class:`AdmissionReport`.
+
+:func:`admit` implements the ladder; ``CourcelleSolver`` (the
+``admission=`` policy) and ``SolverService`` route through it.  The
+module also hosts the malformed-input corpus (de)serialization used by
+``tests/data/`` and the admission benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from .datalog.budget import BudgetExceeded, BudgetMeter, SolveBudget, as_meter
+from .errors import AdmissionRejected, Violation, summarize_violations
+from .mso.eval import Budget as _EvalBudget
+from .structures.signature import Signature
+from .structures.structure import Fact, Structure, structure_fingerprint
+from .treewidth.decomposition import RootedTree, TreeDecomposition
+from .treewidth.heuristics import decompose_structure
+from .treewidth.normalize import widen
+
+__all__ = [
+    "DEFAULT_ADMISSION_BUDGET",
+    "POLICIES",
+    "AdmissionReport",
+    "AdmissionResult",
+    "MeterBudget",
+    "RawStructure",
+    "admit",
+    "coerce_structure",
+    "decomposition_from_spec",
+    "load_corpus",
+    "load_corpus_case",
+    "redecompose",
+    "repair_decomposition",
+    "structure_from_spec",
+    "tree_violations",
+    "verify_decomposition",
+    "verify_structure",
+]
+
+#: the admission policies, in increasing order of leniency
+POLICIES = ("strict", "repair", "degrade")
+
+#: bounds the admission layer's own work (re-decomposition attempts,
+#: degraded direct-MSO evaluation) when the caller supplies no budget;
+#: generous, because it is the backstop against pathological inputs,
+#: not a latency target -- services pass their own ``SolveBudget``
+DEFAULT_ADMISSION_BUDGET = SolveBudget(max_seconds=30.0)
+
+
+@dataclass
+class AdmissionReport:
+    """The machine-readable outcome of one trip through the ladder.
+
+    ``verdict`` is ``"admitted"`` (input was clean), ``"repaired"``
+    (violations found and fixed -- in place or by re-decomposition),
+    ``"degraded"`` (served by direct MSO evaluation outside the
+    compiled envelope) or ``"rejected"``.  ``violations`` is everything
+    verification found, ``repairs`` what the repair pass did about it,
+    ``residual`` what was still standing when the ladder stopped.
+    """
+
+    policy: str
+    verdict: str = "admitted"
+    fingerprint: str | None = None
+    violations: tuple[Violation, ...] = ()
+    repairs: tuple[str, ...] = ()
+    residual: tuple[Violation, ...] = ()
+    #: width of the decomposition actually used (None when degraded)
+    width: int | None = None
+    #: the compiled envelope the input was admitted against
+    width_limit: int | None = None
+    #: the supplied decomposition was discarded and rebuilt from scratch
+    redecomposed: bool = False
+    degrade_reason: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "verdict": self.verdict,
+            "fingerprint": self.fingerprint,
+            "violations": [v.to_dict() for v in self.violations],
+            "repairs": list(self.repairs),
+            "residual": [v.to_dict() for v in self.residual],
+            "width": self.width,
+            "width_limit": self.width_limit,
+            "redecomposed": self.redecomposed,
+            "degrade_reason": self.degrade_reason,
+        }
+
+
+@dataclass
+class AdmissionResult:
+    """What :func:`admit` hands back to the solver.
+
+    ``action`` tells the solver how to serve the request: ``"solve"``
+    runs the compiled Theorem 4.4 pipeline on ``td``; ``"direct"`` is
+    the O(1) small-structure escape (|dom| < w + 1, evaluate directly);
+    ``"degrade"`` is the budgeted direct-MSO fallback for structures
+    outside the width envelope.  ``structure`` is the (possibly
+    coerced) structure to serve; ``meter`` the armed budget spanning
+    the rest of the request.
+    """
+
+    report: AdmissionReport
+    structure: Structure
+    td: TreeDecomposition | None
+    action: str
+    meter: BudgetMeter | None = None
+
+
+class MeterBudget(_EvalBudget):
+    """Bridges :mod:`repro.mso.eval`'s step budget onto a
+    :class:`repro.datalog.BudgetMeter`, so the exponential degrade path
+    honours the same ``SolveBudget`` (wall clock, memory) as the rest
+    of the serving stack.  Checks the meter every ``stride`` formula
+    steps -- cooperative, like every other budget checkpoint."""
+
+    def __init__(self, meter: BudgetMeter, stride: int = 1024):
+        super().__init__(limit=None)
+        self._meter = meter
+        self._stride = stride
+
+    def tick(self) -> None:
+        self.steps += 1
+        if self.steps % self._stride == 0:
+            self._meter.check()
+
+
+# ----------------------------------------------------------------------
+# Verify
+# ----------------------------------------------------------------------
+
+
+def verify_structure(structure, signature: Signature) -> list[Violation]:
+    """All structure-vs-signature violations (no raise).
+
+    For genuine :class:`Structure` instances whose signature matches
+    the compiled one this is two comparisons -- the clean-traffic fast
+    path; the constructor already enforced arity and domain closure.
+    Signature mismatches decompose into per-predicate violations
+    (``unknown-predicate`` and ``missing-predicate`` are repairable by
+    :func:`coerce_structure`; ``arity-mismatch`` is fatal).  Arbitrary
+    duck-typed objects get the full distrustful scan, and an object too
+    corrupt to read yields a single fatal ``unreadable-structure``
+    violation instead of an escaped exception.
+    """
+    if isinstance(structure, Structure) and structure.signature == signature:
+        return []
+    violations: list[Violation] = []
+    trusted = isinstance(structure, Structure)
+    try:
+        own = structure.signature
+        own_names = list(own)
+        for name in own_names:
+            if name not in signature:
+                violations.append(
+                    Violation(
+                        "unknown-predicate",
+                        f"unknown predicate {name!r}",
+                        subject=(name,),
+                        repairable=True,
+                    )
+                )
+            elif signature.arity(name) != own.arity(name):
+                violations.append(
+                    Violation(
+                        "arity-mismatch",
+                        f"{name} expects arity {signature.arity(name)}, "
+                        f"declared with arity {own.arity(name)}",
+                        subject=(name,),
+                    )
+                )
+        for name in signature:
+            if name not in own:
+                violations.append(
+                    Violation(
+                        "missing-predicate",
+                        f"predicate {name!r} missing from the structure's "
+                        "signature (treated as empty)",
+                        subject=(name,),
+                        repairable=True,
+                    )
+                )
+        if not trusted:
+            # a duck-typed structure's tuples earn no trust: re-check
+            # arity and domain closure the way the constructor would
+            domain = frozenset(structure.domain)
+            for name in own_names:
+                arity = own.arity(name)
+                for tup in structure.relation(name):
+                    tup = tuple(tup)
+                    if len(tup) != arity:
+                        violations.append(
+                            Violation(
+                                "arity-mismatch",
+                                f"{name} expects arity {arity}, got {tup!r}",
+                                subject=(name, tup),
+                            )
+                        )
+                        continue
+                    loose = [x for x in tup if x not in domain]
+                    if loose:
+                        violations.append(
+                            Violation(
+                                "domain-closure",
+                                f"element {loose[0]!r} of {name}{tup!r} is "
+                                "not in the domain",
+                                subject=(name, tup),
+                            )
+                        )
+    except Exception as exc:
+        return [
+            Violation(
+                "unreadable-structure",
+                "structure cannot be read: "
+                f"{type(exc).__name__}: {exc}",
+            )
+        ]
+    return violations
+
+
+def coerce_structure(structure, signature: Signature, violations) -> Structure | None:
+    """Rebuild ``structure`` as a genuine :class:`Structure` over the
+    compiled ``signature``, dropping unknown predicates -- the repair
+    for repairable structure violations.  Returns ``None`` when any
+    violation is fatal or the rebuild itself fails."""
+    if any(not v.repairable for v in violations):
+        return None
+    try:
+        relations = {
+            name: structure.relation(name)
+            for name in signature
+            if name in structure.signature
+        }
+        return Structure(signature, structure.domain, relations)
+    except Exception:
+        return None
+
+
+def tree_violations(td) -> list[Violation]:
+    """Integrity violations of the decomposition's rooted tree.
+
+    Uses its own seen-set traversal (never ``preorder()``): a corrupted
+    tree can contain cycles, and the admission layer must diagnose such
+    a tree, not hang on it.  All integrity violations are
+    non-repairable -- a corrupt tree is re-decomposed, not patched.
+    """
+    violations: list[Violation] = []
+    tree = td.tree
+    try:
+        children = tree._children
+        parent = tree._parent
+        bags = td.bags
+        root = tree.root
+    except AttributeError as exc:
+        return [
+            Violation(
+                "tree-corrupt",
+                f"decomposition cannot be read: {exc}",
+            )
+        ]
+    if root not in children or root not in parent:
+        return [
+            Violation(
+                "tree-corrupt",
+                f"root {root!r} is not a tree node",
+                subject=(root,),
+            )
+        ]
+    seen = {root}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        for child in children.get(node, ()):
+            if child in seen:
+                violations.append(
+                    Violation(
+                        "tree-corrupt",
+                        f"edge {node!r} -> {child!r} creates a cycle",
+                        subject=(node, child),
+                    )
+                )
+                continue
+            if child not in children or child not in parent:
+                violations.append(
+                    Violation(
+                        "tree-corrupt",
+                        f"child {child!r} of {node!r} is not a tree node",
+                        subject=(node, child),
+                    )
+                )
+                continue
+            if parent.get(child) != node:
+                violations.append(
+                    Violation(
+                        "tree-corrupt",
+                        f"node {child!r} records parent "
+                        f"{parent.get(child)!r} but is a child of {node!r}",
+                        subject=(node, child),
+                    )
+                )
+            seen.add(child)
+            stack.append(child)
+    unreachable = sorted(set(bags) - seen, key=repr)
+    if unreachable:
+        violations.append(
+            Violation(
+                "tree-corrupt",
+                f"nodes {unreachable} are unreachable from the root",
+                subject=tuple(unreachable),
+            )
+        )
+    bagless = sorted(seen - set(bags), key=repr)
+    if bagless:
+        violations.append(
+            Violation(
+                "tree-corrupt",
+                f"nodes {bagless} have no bag",
+                subject=tuple(bagless),
+            )
+        )
+    return violations
+
+
+def verify_decomposition(
+    td, structure: Structure, width_limit: int | None = None
+) -> list[Violation]:
+    """All decomposition violations: tree integrity, then the Section
+    2.2 axioms, then the width envelope.  Axiom checks are skipped on a
+    corrupt tree (they would be meaningless -- and unsafe)."""
+    violations = tree_violations(td)
+    if violations:
+        return violations
+    violations = td.structure_violations(structure)
+    if width_limit is not None and td.width > width_limit:
+        violations.append(_width_violation(td.width, width_limit))
+    return violations
+
+
+def _width_violation(width: int, limit: int) -> Violation:
+    # "exceeds" is the historical message pin of the solver's refusal
+    return Violation(
+        "width-exceeded",
+        f"decomposition width {width} exceeds the compiled width {limit}",
+        subject=(width, limit),
+    )
+
+
+# ----------------------------------------------------------------------
+# Repair
+# ----------------------------------------------------------------------
+
+
+def repair_decomposition(
+    td, structure: Structure
+) -> tuple[TreeDecomposition | None, tuple[str, ...]]:
+    """Fix a repairable decomposition in place (on a copy).
+
+    Four passes: (1) intersect every bag with the domain (alien
+    elements), (2) attach a fresh leaf bag per uncovered tuple at the
+    node of maximal overlap, (3) attach leaf bags for elements covered
+    by no bag, (4) splice each disconnected element along the Steiner
+    closure of its occurrence nodes (union of root-paths, pruned back
+    to the occurrences).  Splicing only ever *adds* elements to bags,
+    so passes never undo each other; the price is possible width growth,
+    which the caller's envelope check arbitrates.
+
+    Returns ``(repaired, repairs)`` with ``repaired`` clean under
+    :meth:`TreeDecomposition.validate_for_structure`, or ``(None,
+    repairs_attempted)`` when the result still fails re-verification.
+    The tree must already be integrity-clean (:func:`tree_violations`).
+    """
+    tree = td.tree.copy()
+    bags = {n: frozenset(b) for n, b in td.bags.items()}
+    domain = structure.domain
+    repairs: list[str] = []
+
+    # (1) alien elements: bags may only mention domain elements
+    dropped = 0
+    for node, bag in bags.items():
+        kept = bag & domain
+        if kept != bag:
+            dropped += len(bag - kept)
+            bags[node] = kept
+    if dropped:
+        repairs.append(f"dropped-alien-elements:{dropped}")
+
+    def best_anchor(needed: frozenset) -> int:
+        return max(
+            bags,
+            key=lambda n: (len(bags[n] & needed), -n),
+        )
+
+    # (2) uncovered tuples: a fresh leaf bag holding the whole tuple,
+    # attached where the overlap is largest (the splice pass below
+    # reconnects any element this leaves with split occurrences)
+    patched_tuples = 0
+    for name in structure.signature:
+        for tup in structure.relation(name):
+            needed = frozenset(tup)
+            if any(needed <= bag for bag in bags.values()):
+                continue
+            anchor = best_anchor(needed)
+            leaf = tree.add_child(anchor)
+            bags[leaf] = needed
+            patched_tuples += 1
+    if patched_tuples:
+        repairs.append(f"covered-missing-tuples:{patched_tuples}")
+
+    # (3) elements in no bag at all
+    covered: set = set()
+    for bag in bags.values():
+        covered |= bag
+    missing = sorted(domain - covered, key=repr)
+    if missing:
+        for element in missing:
+            leaf = tree.add_child(tree.root)
+            bags[leaf] = frozenset((element,))
+        repairs.append(f"covered-missing-elements:{len(missing)}")
+
+    # (4) connectedness: Steiner-splice each disconnected element
+    working = TreeDecomposition(tree, bags)
+    spliced = 0
+    for element in sorted(working.connectedness_violations(), key=repr):
+        occurrences = working.occurrences(element)
+        closure: set[int] = set()
+        for node in occurrences:
+            path = []
+            cursor: int | None = node
+            while cursor is not None and cursor not in closure:
+                path.append(cursor)
+                cursor = tree.parent(cursor)
+            closure.update(path)
+        # prune: peel closure-leaves that are not occurrence nodes
+        changed = True
+        while changed:
+            changed = False
+            for node in list(closure):
+                if node in occurrences:
+                    continue
+                degree = sum(
+                    1 for c in tree.children(node) if c in closure
+                )
+                p = tree.parent(node)
+                if p is not None and p in closure:
+                    degree += 1
+                if degree <= 1:
+                    closure.discard(node)
+                    changed = True
+        for node in closure - occurrences:
+            working.bags[node] = working.bags[node] | {element}
+            spliced += 1
+    if spliced:
+        repairs.append(f"spliced-connectedness:{spliced}")
+
+    if working.structure_violations(structure):
+        return None, tuple(repairs)
+    return working, tuple(repairs)
+
+
+def redecompose(
+    structure: Structure,
+    width_limit: int,
+    meter: BudgetMeter | None = None,
+    methods: tuple[str, ...] = ("min_fill", "min_degree"),
+) -> tuple[TreeDecomposition | None, str | None]:
+    """Build a decomposition from scratch, escalating through ordering
+    strategies until one fits the envelope or the budget runs out.
+
+    ``min_fill`` first (it matches the legacy default, so clean
+    td-less traffic decomposes identically with or without admission),
+    ``min_degree`` as the escalation.  Returns the best decomposition
+    found (lowest width -- possibly still over the envelope, which the
+    degrade rung then arbitrates) and the strategy that produced it.
+    """
+    best: TreeDecomposition | None = None
+    best_method: str | None = None
+    try:
+        for method in methods:
+            if meter is not None:
+                meter.check()
+            try:
+                candidate = decompose_structure(structure, method=method)
+            except Exception:
+                continue
+            if best is None or candidate.width < best.width:
+                best, best_method = candidate, method
+            if best.width <= width_limit:
+                break
+    except BudgetExceeded:
+        pass  # keep whatever the budget allowed us to build
+    return best, best_method
+
+
+# ----------------------------------------------------------------------
+# The ladder
+# ----------------------------------------------------------------------
+
+
+def admit(
+    structure,
+    *,
+    signature: Signature,
+    width: int,
+    td=None,
+    policy: str = "repair",
+    budget=None,
+) -> AdmissionResult:
+    """Run one request through the admission ladder.
+
+    Verifies the structure against ``signature`` and the (optional)
+    decomposition against the Section 2.2 axioms and the ``width``
+    envelope; repairs or re-decomposes what the ``policy`` allows;
+    returns an :class:`AdmissionResult` telling the solver how to
+    serve the request (``solve`` / ``direct`` / ``degrade``).  Raises
+    :class:`repro.errors.AdmissionRejected` -- carrying the full
+    :class:`AdmissionReport` -- when the ladder runs out of rungs:
+    immediately on any violation under ``"strict"``, after repair and
+    re-decomposition fail under ``"repair"``, and only when even the
+    degraded direct evaluation is unavailable under ``"degrade"``
+    (the degrade *budget* rung lives in the solver, which owns the
+    formula).
+
+    ``budget`` (a ``SolveBudget`` or armed ``BudgetMeter``) spans the
+    admission work itself -- re-decomposition attempts check it
+    between strategies -- and rides the result for the degrade path;
+    ``None`` arms :data:`DEFAULT_ADMISSION_BUDGET`.
+    """
+    if policy not in POLICIES:
+        raise ValueError(
+            f"unknown admission policy {policy!r}; expected one of {POLICIES}"
+        )
+    meter = (
+        as_meter(budget)
+        if budget is not None
+        else DEFAULT_ADMISSION_BUDGET.start()
+    )
+    report = AdmissionReport(policy=policy, width_limit=width)
+
+    # -- rung 1: the structure itself ----------------------------------
+    violations = verify_structure(structure, signature)
+    if violations:
+        report.violations += tuple(violations)
+        report.fingerprint = structure_fingerprint(structure)
+        if policy == "strict" or any(not v.repairable for v in violations):
+            _reject(report)
+        coerced = coerce_structure(structure, signature, violations)
+        if coerced is None:
+            _reject(report)
+        structure = coerced
+        report.repairs += ("restricted-structure-to-signature",)
+
+    # -- the O(1) small-structure escape (|dom| < w + 1) ---------------
+    if len(structure.domain) < width + 1:
+        report.verdict = "repaired" if report.repairs else "admitted"
+        return AdmissionResult(report, structure, None, "direct", meter)
+
+    # -- rung 2: the decomposition -------------------------------------
+    if td is not None:
+        violations = verify_decomposition(td, structure, width)
+        if not violations:
+            report.width = td.width
+            report.verdict = "repaired" if report.repairs else "admitted"
+            return AdmissionResult(report, structure, td, "solve", meter)
+        report.violations += tuple(violations)
+        if report.fingerprint is None:
+            report.fingerprint = structure_fingerprint(structure)
+        if policy == "strict":
+            _reject(report)
+        # a width overshoot alone does not block the in-place attempt:
+        # dropping alien bag elements can bring the width back under
+        # the envelope, and the repaired result is re-checked anyway
+        blocking = [
+            v
+            for v in violations
+            if not v.repairable and v.code != "width-exceeded"
+        ]
+        if not blocking and any(v.repairable for v in violations):
+            repaired, attempted = repair_decomposition(td, structure)
+            report.repairs += attempted
+            if repaired is not None and repaired.width <= width:
+                if repaired.width < width:
+                    before = repaired.width
+                    repaired = widen(repaired, width)
+                    report.repairs += (f"widened:{before}->{width}",)
+                report.width = repaired.width
+                report.verdict = "repaired"
+                return AdmissionResult(
+                    report, structure, repaired, "solve", meter
+                )
+
+    # -- rung 3: re-decompose from scratch -----------------------------
+    rebuilt, method = redecompose(structure, width, meter)
+    if rebuilt is not None and rebuilt.width <= width:
+        if td is not None:
+            report.redecomposed = True
+        if td is not None or report.repairs:
+            report.repairs += (f"redecomposed:{method}",)
+            report.verdict = "repaired"
+        report.width = rebuilt.width
+        return AdmissionResult(report, structure, rebuilt, "solve", meter)
+
+    # -- rung 4: outside the envelope ----------------------------------
+    achieved = rebuilt.width if rebuilt is not None else None
+    residual = _width_violation(
+        achieved if achieved is not None else (td.width if td is not None else -1),
+        width,
+    )
+    if not any(v.code == "width-exceeded" for v in report.violations):
+        report.violations += (residual,)
+    report.residual += (residual,)
+    if report.fingerprint is None:
+        report.fingerprint = structure_fingerprint(structure)
+    if policy == "degrade":
+        report.verdict = "degraded"
+        report.width = None
+        report.degrade_reason = (
+            f"best achievable width {achieved} exceeds the compiled "
+            f"width {width}; serving by direct MSO evaluation under budget"
+            if achieved is not None
+            else "no decomposition could be built within the admission "
+            f"budget; serving by direct MSO evaluation under budget"
+        )
+        return AdmissionResult(report, structure, None, "degrade", meter)
+    _reject(report)
+
+
+def _reject(report: AdmissionReport) -> None:
+    report.verdict = "rejected"
+    report.residual = report.residual or tuple(
+        v for v in report.violations if not v.repairable
+    ) or report.violations
+    raise AdmissionRejected(
+        f"admission rejected (policy {report.policy}, structure "
+        f"{report.fingerprint}): {summarize_violations(report.violations)}",
+        report.violations,
+        report=report,
+    )
+
+
+# ----------------------------------------------------------------------
+# Malformed-input corpus (de)serialization
+# ----------------------------------------------------------------------
+
+
+class RawStructure:
+    """A duck-typed stand-in for structures too malformed for
+    :class:`Structure`'s constructor (which rightly refuses arity and
+    domain-closure breaks).  Exposes just enough surface --
+    ``signature`` / ``domain`` / ``relation()`` / ``facts()`` -- for
+    verification and fingerprinting, and pickles across the service's
+    worker boundary so malformed corpus entries can be served end to
+    end."""
+
+    def __init__(self, signature: Signature, domain, relations):
+        self.signature = signature
+        self.domain = frozenset(domain)
+        self._relations = {
+            name: frozenset(tuple(t) for t in tuples)
+            for name, tuples in (relations or {}).items()
+        }
+
+    def relation(self, name: str) -> frozenset:
+        return self._relations.get(name, frozenset())
+
+    def facts(self):
+        for name in sorted(self._relations):
+            for tup in sorted(self._relations[name], key=repr):
+                yield Fact(name, tup)
+
+    def __repr__(self) -> str:
+        return (
+            f"RawStructure(|dom|={len(self.domain)}, "
+            f"relations={sorted(self._relations)})"
+        )
+
+
+def structure_from_spec(spec: dict):
+    """Build a structure from its corpus JSON spec; falls back to
+    :class:`RawStructure` when the spec is (deliberately) too malformed
+    for the real constructor."""
+    signature = Signature({name: int(a) for name, a in spec["signature"].items()})
+    domain = list(spec.get("domain", ()))
+    relations = {
+        name: [tuple(t) for t in tuples]
+        for name, tuples in spec.get("relations", {}).items()
+    }
+    try:
+        return Structure(signature, domain, relations)
+    except (ValueError, KeyError, TypeError):
+        return RawStructure(signature, domain, relations)
+
+
+def decomposition_from_spec(spec: dict | None):
+    """Build a (possibly invalid) decomposition from its corpus spec.
+
+    Deliberately bypasses the constructors: corpus entries encode
+    corruptions -- cycles, orphan nodes, missing bags -- that
+    ``RootedTree`` / ``TreeDecomposition`` would refuse (or loop on),
+    and the whole point is to hand them to admission as-is.
+    """
+    if spec is None:
+        return None
+    nodes = {int(node): d for node, d in spec["nodes"].items()}
+    tree = RootedTree.__new__(RootedTree)
+    tree.root = int(spec["root"])
+    tree._children = {
+        node: [int(c) for c in d.get("children", ())]
+        for node, d in nodes.items()
+    }
+    tree._parent = {}
+    for node, d in nodes.items():
+        for child in d.get("children", ()):
+            tree._parent[int(child)] = node
+    for node in nodes:
+        tree._parent.setdefault(node, None)
+    tree._next_id = max(nodes, default=0) + 1
+    td = TreeDecomposition.__new__(TreeDecomposition)
+    td.tree = tree
+    td.bags = {
+        node: frozenset(d["bag"]) for node, d in nodes.items() if "bag" in d
+    }
+    return td
+
+
+def load_corpus_case(source) -> dict:
+    """Load one corpus case (a path or an already-parsed dict) into
+    ``{"name", "structure", "td", "expect", "defects"}``."""
+    if isinstance(source, (str, os.PathLike)):
+        with open(source) as handle:
+            spec = json.load(handle)
+    else:
+        spec = source
+    return {
+        "name": spec.get("name", "unnamed"),
+        "structure": structure_from_spec(spec["structure"]),
+        "td": decomposition_from_spec(spec.get("decomposition")),
+        "expect": spec.get("expect"),
+        "defects": tuple(spec.get("defects", ())),
+    }
+
+
+def load_corpus(directory) -> list[dict]:
+    """Load every ``*.json`` case under ``directory``, sorted by name."""
+    cases = []
+    for entry in sorted(os.listdir(directory)):
+        if entry.endswith(".json"):
+            cases.append(load_corpus_case(os.path.join(directory, entry)))
+    return cases

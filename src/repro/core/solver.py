@@ -23,11 +23,14 @@ import dataclasses
 import os
 import pickle
 
+from ..admission import POLICIES, MeterBudget, admit
 from ..datalog.backends import ProgramCache, default_cache, get_backend
+from ..datalog.budget import BudgetExceeded, as_meter
 from ..datalog.guards import is_quasi_guarded
+from ..errors import AdmissionRejected, WidthExceeded
 from ..mso.syntax import Formula
 from ..structures.signature import Signature
-from ..structures.structure import Element, Structure
+from ..structures.structure import Element, Structure, structure_fingerprint
 from ..treewidth.decomposition import TreeDecomposition
 from ..treewidth.encode import encode_normalized
 from ..treewidth.heuristics import decompose_structure
@@ -84,10 +87,22 @@ class CourcelleSolver:
         minimize: bool = True,
         profile=None,
         replan=None,
+        admission: str | None = None,
+        admission_budget=None,
     ):
         self._formula = formula
         self.backend_name = backend
         self.cache = cache if cache is not None else default_cache()
+        #: default admission policy (``"strict"`` / ``"repair"`` /
+        #: ``"degrade"``); ``None`` keeps the legacy trusting paths --
+        #: no verification, first-fail ``ValueError`` on bad input
+        if admission is not None and admission not in POLICIES:
+            raise ValueError(
+                f"unknown admission policy {admission!r}; "
+                f"expected one of {POLICIES}"
+            )
+        self.admission = admission
+        self.admission_budget = admission_budget
         #: set via ``profile=`` (a PlanProfile): interned quasi-guarded
         #: solves record probe fanout / relation sizes into it; hand it
         #: to :meth:`replanned` (or a fresh solver's ``replan=``) to
@@ -173,6 +188,8 @@ class CourcelleSolver:
             "formula": self._formula,
             "compiled": self.compiled,
             "backend": self.backend_name,
+            "admission": self.admission,
+            "admission_budget": self.admission_budget,
         }
         if self.evaluator is not None:
             # the builtin registry holds closures; CourcelleSolver
@@ -188,6 +205,8 @@ class CourcelleSolver:
         self._formula = state["formula"]
         self.compiled = state["compiled"]
         self.backend_name = state["backend"]
+        self.admission = state.get("admission")
+        self.admission_budget = state.get("admission_budget")
         self.cache = default_cache()
         # profiles stay in the parent process; the *replanned plans*
         # cross the boundary inside the prepared artifact below
@@ -229,18 +248,29 @@ class CourcelleSolver:
 
     # ------------------------------------------------------------------
 
-    def _prepare(self, structure: Structure, td: TreeDecomposition | None):
+    def _prepare(
+        self,
+        structure: Structure,
+        td: TreeDecomposition | None,
+        verified: bool = False,
+    ):
         if td is None:
             td = decompose_structure(structure)
         if td.width > self.compiled.width:
-            raise ValueError(
+            raise WidthExceeded(
                 f"decomposition width {td.width} exceeds the compiled "
-                f"width {self.compiled.width}"
+                f"width {self.compiled.width} "
+                f"(structure {structure_fingerprint(structure)})",
+                width=td.width,
+                limit=self.compiled.width,
+                fingerprint=structure_fingerprint(structure),
             )
         if td.width < self.compiled.width:
             td = widen(td, self.compiled.width)
         ntd = normalize(td)
-        ntd.validate(structure)
+        # admission already checked the Section 2.2 axioms against the
+        # structure; re-check only the Definition 2.3 shape then
+        ntd.validate(None if verified else structure)
         return encode_normalized(structure, ntd)
 
     def _too_small(self, structure: Structure) -> bool:
@@ -249,11 +279,40 @@ class CourcelleSolver:
         "w.l.o.g." escape hatch (still O(1) per structure)."""
         return len(structure.domain) < self.compiled.width + 1
 
+    def _finish(self, encoded, budget=None):
+        """Evaluate an encoded structure and decode the answer
+        (``decide`` boolean or ``query`` answer set)."""
+        if self._backend is not None:
+            answers = self._backend_answers(encoded)
+            if self.compiled.is_sentence:
+                return () in answers
+            return frozenset(args[0] for args in answers)
+        result = self.evaluator.evaluate(encoded, budget=budget)
+        if self.compiled.is_sentence:
+            return result.holds(ANSWER_PREDICATE)
+        return result.unary_answers(ANSWER_PREDICATE)
+
+    def _direct_answer(self, structure: Structure, budget=None):
+        """Direct MSO evaluation -- the small-structure escape hatch
+        and the admission ladder's degraded serving path."""
+        from ..mso.eval import evaluate
+        from ..mso.eval import query as direct_query
+
+        if self.compiled.is_sentence:
+            return evaluate(structure, self.compiled_formula(), budget=budget)
+        return direct_query(
+            structure,
+            self.compiled_formula(),
+            self.compiled.free_var,
+            budget=budget,
+        )
+
     def decide(
         self,
         structure: Structure,
         td: TreeDecomposition | None = None,
         budget=None,
+        admission: str | None = None,
     ) -> bool:
         """Evaluate a compiled *sentence* on a structure.
 
@@ -261,43 +320,115 @@ class CourcelleSolver:
         quasi-guarded fixpoint loops raise
         :class:`repro.datalog.BudgetExceeded` cooperatively instead of
         running away; the O(1) small-structure path and the bottom-up
-        ablation backends ignore it."""
+        ablation backends ignore it.
+
+        ``admission`` (or the solver-wide ``admission=`` default) routes
+        the request through :func:`repro.admission.admit` first: the
+        input is verified, repaired or degraded per the policy, and
+        unservable requests raise
+        :class:`repro.errors.AdmissionRejected` instead of whatever the
+        trusting pipeline would have hit."""
         if not self.compiled.is_sentence:
             raise ValueError("compiled query is unary; use .query()")
+        policy = admission if admission is not None else self.admission
+        if policy is not None:
+            answer, _ = self.solve_admitted(
+                structure, td, policy=policy, budget=budget
+            )
+            return answer
         if self._too_small(structure):
-            from ..mso.eval import evaluate
-
-            return evaluate(structure, self.compiled_formula())
+            return self._direct_answer(structure)
         encoded = self._prepare(structure, td)
-        if self._backend is not None:
-            return () in self._backend_answers(encoded)
-        result = self.evaluator.evaluate(encoded, budget=budget)
-        return result.holds(ANSWER_PREDICATE)
+        return self._finish(encoded, budget)
 
     def query(
         self,
         structure: Structure,
         td: TreeDecomposition | None = None,
         budget=None,
+        admission: str | None = None,
     ) -> frozenset[Element]:
         """Evaluate a compiled *unary query*: the set of answers.
 
-        ``budget`` behaves as in :meth:`decide`."""
+        ``budget`` and ``admission`` behave as in :meth:`decide`."""
         if self.compiled.is_sentence:
             raise ValueError("compiled query is a sentence; use .decide()")
+        policy = admission if admission is not None else self.admission
+        if policy is not None:
+            answer, _ = self.solve_admitted(
+                structure, td, policy=policy, budget=budget
+            )
+            return answer
         if self._too_small(structure):
-            from ..mso.eval import query as direct_query
-
-            return direct_query(
-                structure, self.compiled_formula(), self.compiled.free_var
-            )
+            return self._direct_answer(structure)
         encoded = self._prepare(structure, td)
-        if self._backend is not None:
-            return frozenset(
-                args[0] for args in self._backend_answers(encoded)
-            )
-        result = self.evaluator.evaluate(encoded, budget=budget)
-        return result.unary_answers(ANSWER_PREDICATE)
+        return self._finish(encoded, budget)
+
+    def solve_admitted(
+        self,
+        structure,
+        td: TreeDecomposition | None = None,
+        *,
+        policy: str | None = None,
+        budget=None,
+    ):
+        """Solve one request through the admission ladder.
+
+        Returns ``(answer, report)`` -- the ``decide``/``query`` answer
+        plus the :class:`repro.admission.AdmissionReport` saying how the
+        input was served (``admitted`` / ``repaired`` / ``degraded``).
+        Raises :class:`repro.errors.AdmissionRejected` when the policy
+        ladder runs out: on any violation under ``"strict"``, when
+        repair and re-decomposition fail under ``"repair"``, and when
+        even the budgeted direct evaluation cannot finish under
+        ``"degrade"``.
+
+        ``budget`` spans the whole request -- admission work, the
+        compiled solve *and* the degraded direct evaluation all draw on
+        one meter; ``None`` leaves the solve unbudgeted and bounds only
+        the admission layer's own work
+        (:data:`repro.admission.DEFAULT_ADMISSION_BUDGET`, overridable
+        per solver via ``admission_budget=``).
+        """
+        policy = policy if policy is not None else (self.admission or "repair")
+        meter = as_meter(budget)
+        result = admit(
+            structure,
+            signature=self.compiled.signature,
+            width=self.compiled.width,
+            td=td,
+            policy=policy,
+            budget=meter if meter is not None else self.admission_budget,
+        )
+        report = result.report
+        if result.action == "direct":
+            return self._direct_answer(result.structure), report
+        if result.action == "degrade":
+            try:
+                answer = self._direct_answer(
+                    result.structure,
+                    budget=(
+                        MeterBudget(result.meter)
+                        if result.meter is not None
+                        else None
+                    ),
+                )
+            except BudgetExceeded as exc:
+                report.verdict = "rejected"
+                report.degrade_reason = (
+                    f"{report.degrade_reason}; degraded evaluation "
+                    f"exhausted its budget ({exc})"
+                )
+                raise AdmissionRejected(
+                    f"admission rejected (policy {policy}, structure "
+                    f"{report.fingerprint}): degraded evaluation "
+                    f"exhausted its budget ({exc})",
+                    report.violations,
+                    report=report,
+                ) from exc
+            return answer, report
+        encoded = self._prepare(result.structure, result.td, verified=True)
+        return self._finish(encoded, budget=meter), report
 
     def solve_many(
         self,
@@ -306,6 +437,7 @@ class CourcelleSolver:
         workers: "int | str | None" = None,
         chunksize: int | None = None,
         service=None,
+        admission: str | None = None,
     ) -> list:
         """Solve a batch of independent structures, optionally sharded.
 
@@ -328,6 +460,13 @@ class CourcelleSolver:
         the pool startup and solver re-pickle that the one-shot path
         pays on every call (``workers``/``chunksize`` are then ignored
         -- the service owns its worker count).
+
+        ``admission`` (or the solver-wide default) runs every item
+        through the admission ladder and turns the batch's failure mode
+        per-item: a malformed structure no longer kills the whole
+        batch; its slot holds the :class:`repro.errors.AdmissionRejected`
+        instance (report attached) while every other slot holds its
+        answer.
         """
         structures = list(structures)
         if tds is None:
@@ -339,15 +478,18 @@ class CourcelleSolver:
                     f"{len(structures)} structures but {len(tds)} "
                     "decompositions"
                 )
+        policy = admission if admission is not None else self.admission
         if service is not None:
-            return service.solve_many(self, structures, tds)
-        solve_one = self.decide if self.compiled.is_sentence else self.query
+            return service.solve_many(self, structures, tds, admission=policy)
         if workers == "auto":
             workers = default_worker_count(len(structures))
         elif workers is None:
             workers = 1
         if workers <= 1 or len(structures) <= 1:
-            return [solve_one(s, td) for s, td in zip(structures, tds)]
+            return [
+                _solve_item(self, s, td, policy)
+                for s, td in zip(structures, tds)
+            ]
         import multiprocessing
 
         workers = min(workers, len(structures))
@@ -362,7 +504,9 @@ class CourcelleSolver:
             # (and any interleaving of completions) cannot reorder or
             # change the results
             return pool.map(
-                _solve_many_task, list(zip(structures, tds)), chunksize
+                _solve_many_task,
+                [(s, td, policy) for s, td in zip(structures, tds)],
+                chunksize,
             )
 
     def with_backend(self, backend: str) -> "CourcelleSolver":
@@ -381,6 +525,8 @@ class CourcelleSolver:
         clone.compiled = self.compiled
         clone.backend_name = backend
         clone.cache = self.cache
+        clone.admission = self.admission
+        clone.admission_budget = self.admission_budget
         clone.plan_profile = (
             self.plan_profile if backend in _QG_MODES else None
         )
@@ -435,6 +581,8 @@ class CourcelleSolver:
         clone.compiled = self.compiled
         clone.backend_name = self.backend_name
         clone.cache = self.cache
+        clone.admission = self.admission
+        clone.admission_budget = self.admission_budget
         clone.plan_profile = None
         clone._replan = profile
         clone._wire_backend(
@@ -478,10 +626,23 @@ def _solve_many_init(payload: bytes) -> None:
     _WORKER_SOLVER = pickle.loads(payload)
 
 
-def _solve_many_task(item):
-    structure, td = item
-    solver = _WORKER_SOLVER
+def _solve_item(solver, structure, td, admission):
+    """One batch slot: the answer, or -- under admission -- the
+    ``AdmissionRejected`` instance as a per-item verdict."""
+    if admission is not None:
+        try:
+            answer, _ = solver.solve_admitted(structure, td, policy=admission)
+            return answer
+        except AdmissionRejected as exc:
+            return exc
     solve_one = (
         solver.decide if solver.compiled.is_sentence else solver.query
     )
     return solve_one(structure, td)
+
+
+def _solve_many_task(item):
+    structure, td, admission = (
+        item if len(item) == 3 else (item[0], item[1], None)
+    )
+    return _solve_item(_WORKER_SOLVER, structure, td, admission)

@@ -1,0 +1,177 @@
+"""Typed exception taxonomy for untrusted-input admission.
+
+The historical error surface of the stack is bare ``ValueError``\\ s with
+first-fail messages (``treewidth/decomposition.py``'s validators, the
+solver's width refusal).  The admission layer (:mod:`repro.admission`)
+needs more: *every* violation collected, machine-readable, and an error
+type a service can switch on without parsing strings.
+
+Design constraints:
+
+* **ValueError compatibility.**  Ten PRs of call sites (and the test
+  suite) catch ``ValueError`` around validation; every class here
+  subclasses it so existing handlers keep working.
+* **Structured first.**  A :class:`Violation` is a frozen record --
+  ``code`` (stable machine identifier), ``message`` (human text,
+  preserving the legacy substrings callers match on), ``subject`` (the
+  offending elements/nodes/predicates) and ``repairable`` (whether
+  :func:`repro.admission.repair_decomposition` knows how to fix it in
+  place).
+* **Picklable.**  These exceptions cross the solver service's worker
+  pipes; each defines ``__reduce__`` so a rejection raised in a worker
+  arrives intact (violations, report and all) on the caller's future.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "AdmissionRejected",
+    "InvalidDecomposition",
+    "InvalidStructure",
+    "Violation",
+    "ViolationError",
+    "WidthExceeded",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One machine-readable defect found during admission verification.
+
+    ``code`` is a stable identifier (``"element-uncovered"``,
+    ``"arity-mismatch"``, ...); ``subject`` pins the offending values
+    (elements, tree nodes, predicate names) as a tuple so reports stay
+    hashable and picklable; ``repairable`` marks defects the in-place
+    repair pass can fix (as opposed to ones that force a re-decompose
+    or a rejection).
+    """
+
+    code: str
+    message: str
+    subject: tuple = ()
+    repairable: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "subject": [repr(s) for s in self.subject],
+            "repairable": self.repairable,
+        }
+
+
+def summarize_violations(violations) -> str:
+    """One line per violation, joined -- the human face of a report."""
+    return "; ".join(v.message for v in violations)
+
+
+class ViolationError(ValueError):
+    """A ``ValueError`` carrying the full list of structured violations.
+
+    ``str(exc)`` keeps every individual message (so legacy
+    ``pytest.raises(ValueError, match=...)`` substring pins keep
+    matching), while ``exc.violations`` gives callers the records.
+    """
+
+    def __init__(self, message: str, violations=()):
+        super().__init__(message)
+        self.violations: tuple[Violation, ...] = tuple(violations)
+
+    @classmethod
+    def from_violations(cls, violations, prefix: str | None = None):
+        violations = tuple(violations)
+        message = summarize_violations(violations)
+        if prefix:
+            message = f"{prefix}: {message}" if message else prefix
+        return cls(message, violations)
+
+    def __reduce__(self):
+        return (type(self), (self.args[0] if self.args else "", self.violations))
+
+
+class InvalidStructure(ViolationError):
+    """The structure itself fails verification against the expected
+    signature: unknown predicates, arity mismatches, domain-closure
+    breaks, or an object too corrupt to read at all."""
+
+
+class InvalidDecomposition(ViolationError):
+    """The supplied tree decomposition violates the Section 2.2 axioms
+    (or the Definition 2.3 / Section 5 normal-form shape)."""
+
+
+class WidthExceeded(InvalidDecomposition):
+    """The decomposition's width exceeds the compiled envelope.
+
+    Tractability (Theorem 4.4) holds only within the compiled width, so
+    this is the one violation that cannot be repaired in place -- only
+    re-decomposed below the envelope, degraded to direct MSO
+    evaluation, or rejected.  ``width`` / ``limit`` quantify the
+    overshoot; ``fingerprint`` identifies the structure
+    (:func:`repro.structures.structure_fingerprint`) so the caller can
+    act on the rejection without holding the structure."""
+
+    def __init__(
+        self,
+        message: str,
+        violations=(),
+        *,
+        width: int | None = None,
+        limit: int | None = None,
+        fingerprint: str | None = None,
+    ):
+        super().__init__(message, violations)
+        self.width = width
+        self.limit = limit
+        self.fingerprint = fingerprint
+
+    def __reduce__(self):
+        return (
+            _rebuild_width_exceeded,
+            (
+                self.args[0] if self.args else "",
+                self.violations,
+                self.width,
+                self.limit,
+                self.fingerprint,
+            ),
+        )
+
+
+def _rebuild_width_exceeded(message, violations, width, limit, fingerprint):
+    return WidthExceeded(
+        message,
+        violations,
+        width=width,
+        limit=limit,
+        fingerprint=fingerprint,
+    )
+
+
+class AdmissionRejected(ViolationError):
+    """The admission ladder ran out of rungs: the request cannot be
+    served under its policy.
+
+    ``report`` is the full :class:`repro.admission.AdmissionReport` --
+    every violation found, every repair attempted, and why the ladder
+    stopped (``report.verdict == "rejected"``).  Raised by
+    :func:`repro.admission.admit` /
+    :meth:`repro.core.CourcelleSolver.solve_admitted`; the solver
+    service quarantines the report's fingerprint so resubmissions
+    fail fast."""
+
+    def __init__(self, message: str, violations=(), *, report=None):
+        super().__init__(message, violations)
+        self.report = report
+
+    def __reduce__(self):
+        return (
+            _rebuild_admission_rejected,
+            (self.args[0] if self.args else "", self.violations, self.report),
+        )
+
+
+def _rebuild_admission_rejected(message, violations, report):
+    return AdmissionRejected(message, violations, report=report)

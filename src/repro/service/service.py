@@ -72,7 +72,6 @@ must not block.
 
 from __future__ import annotations
 
-import hashlib
 import itertools
 import multiprocessing
 import os
@@ -85,9 +84,12 @@ from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 
+from ..admission import POLICIES
 from ..core.solver import _QG_MODES, default_worker_count
 from ..datalog.backends import available_backends, program_fingerprint
 from ..datalog.budget import BudgetExceeded, SolveBudget
+from ..errors import AdmissionRejected
+from ..structures.structure import structure_fingerprint
 from .faults import FaultPlan
 
 __all__ = [
@@ -168,32 +170,6 @@ class PoisonInput(RuntimeError):
         self.history = history
 
 
-def structure_fingerprint(structure) -> str:
-    """A stable hex fingerprint of a structure's content.
-
-    Hashes the signature, domain, and fact set -- two structurally
-    equal structures fingerprint alike, so a quarantined poison input
-    is recognized however it is resubmitted.  Arbitrary (non-Structure)
-    objects degrade to a type + ``repr`` hash rather than failing: the
-    fingerprint is diagnostic metadata and must never be the thing
-    that throws."""
-    hasher = hashlib.sha256()
-    try:
-        hasher.update(str(structure.signature).encode())
-        for element in sorted(structure.domain, key=repr):
-            hasher.update(repr(element).encode())
-        for fact in structure.facts():
-            hasher.update(repr(fact).encode())
-    except Exception:
-        hasher = hashlib.sha256()
-        hasher.update(type(structure).__name__.encode())
-        try:
-            hasher.update(repr(structure)[:4096].encode())
-        except Exception:  # pragma: no cover - repr() itself raised
-            pass
-    return hasher.hexdigest()[:16]
-
-
 @dataclass
 class ServiceStats:
     """Counters over the service's lifetime (read-only for callers)."""
@@ -220,6 +196,13 @@ class ServiceStats:
     budget_exceeded: int = 0
     #: over-budget requests answered by the fallback backend
     fallback_solves: int = 0
+    #: admission verdicts (requests served through the admission
+    #: ladder: clean, repaired/re-decomposed, served degraded)
+    admitted: int = 0
+    repaired: int = 0
+    degraded: int = 0
+    #: requests failed with :class:`repro.errors.AdmissionRejected`
+    admission_rejected: int = 0
     #: terminate()/kill() escalations during shutdown
     shutdown_escalations: int = 0
     #: workers killed because their whole shard was past its deadlines
@@ -239,20 +222,46 @@ class QuarantineRecord:
     history: tuple[str, ...]
     #: submissions fast-failed against this record since quarantine
     rejections: int = 0
+    #: why the fingerprint is quarantined: ``"crash"`` (it killed
+    #: workers) or ``"admission"`` (it was rejected by the ladder)
+    reason: str = "crash"
+    #: for admission quarantines: the original
+    #: :class:`repro.errors.AdmissionRejected` (report attached),
+    #: re-raised verbatim on repeat submissions
+    error: BaseException | None = None
 
 
 class _Request:
     """One queued solve: a structure (plus optional decomposition), the
     future its answer resolves, and its fault-tolerance state."""
 
-    __slots__ = ("structure", "td", "future", "deadline", "crashes", "history", "_fp")
+    __slots__ = (
+        "structure",
+        "td",
+        "future",
+        "deadline",
+        "admission",
+        "crashes",
+        "history",
+        "_fp",
+    )
 
-    def __init__(self, structure, td, future: Future, deadline: float | None):
+    def __init__(
+        self,
+        structure,
+        td,
+        future: Future,
+        deadline: float | None,
+        admission: str | None = None,
+    ):
         self.structure = structure
         self.td = td
         self.future = future
         #: absolute ``time.monotonic()`` deadline, or None
         self.deadline = deadline
+        #: resolved admission policy (request override or service
+        #: default), or None for the legacy trusting path
+        self.admission = admission
         #: how many workers died while this request was in flight
         self.crashes = 0
         #: human-readable crash log (becomes ``PoisonInput.history``)
@@ -333,28 +342,47 @@ class _Worker:
         self.eof = False
 
 
-def _solve_request(solver, structure, td, budget, fallback, key, fallbacks):
+def _solve_request(solver, structure, td, budget, fallback, key, fallbacks, admission=None):
     """Solve one request inside a worker; an outcome tuple.
 
     ``("ok", value)`` / ``("fb", value)`` (answered by the fallback
-    backend) / ``("budget", message, dimension, limit, consumed)`` /
+    backend) / ``("adm", verdict, value)`` (served through the
+    admission ladder) / ``("rej", exc)`` (rejected by it) /
+    ``("budget", message, dimension, limit, consumed)`` /
     ``("err", brief, traceback)``.  Per-request, so one failing
-    structure cannot take down its shard-mates' answers."""
+    structure cannot take down its shard-mates' answers -- and with
+    admission on, a malformed request resolves as a typed rejection
+    instead of whatever the trusting pipeline would have thrown."""
     solve_one = solver.decide if solver.compiled.is_sentence else solver.query
     try:
         try:
+            if admission is not None:
+                answer, report = solver.solve_admitted(
+                    structure, td, policy=admission, budget=budget
+                )
+                return ("adm", report.verdict, answer)
             return ("ok", solve_one(structure, td, budget=budget))
+        except AdmissionRejected as exc:
+            return ("rej", exc)
         except BudgetExceeded as exc:
             if fallback is None:
                 return ("budget", str(exc), exc.dimension, exc.limit, exc.consumed)
             sibling = fallbacks.get(key)
             if sibling is None:
                 sibling = fallbacks[key] = solver.with_backend(fallback)
+            # the fallback runs unbudgeted: it is the degradation path,
+            # and the deadline/overdue-kill backstop still applies
+            if admission is not None:
+                try:
+                    answer, _report = sibling.solve_admitted(
+                        structure, td, policy=admission
+                    )
+                    return ("fb", answer)
+                except AdmissionRejected as rej:
+                    return ("rej", rej)
             fb_solve = (
                 sibling.decide if sibling.compiled.is_sentence else sibling.query
             )
-            # the fallback runs unbudgeted: it is the degradation path,
-            # and the deadline/overdue-kill backstop still applies
             return ("fb", fb_solve(structure, td))
     except BaseException as exc:
         return ("err", f"{type(exc).__name__}: {exc}", traceback.format_exc())
@@ -395,17 +423,24 @@ def _service_worker_main(
             if key not in solvers:
                 solvers[key] = pickle.loads(payload)
             continue
-        # ("solve", shard_id, key, [(structure, td), ...])
+        # ("solve", shard_id, key, [(structure, td, admission), ...])
         _, shard_id, key, items = message
         try:
             solver = solvers[key]
             outcomes = []
-            for structure, td in items:
+            for structure, td, admission in items:
                 if faults and faults.induce("worker.solve") == "crash":
                     os._exit(FAULT_CRASH_EXIT)
                 outcomes.append(
                     _solve_request(
-                        solver, structure, td, budget, fallback, key, fallbacks
+                        solver,
+                        structure,
+                        td,
+                        budget,
+                        fallback,
+                        key,
+                        fallbacks,
+                        admission,
                     )
                 )
         except BaseException as exc:  # report, don't kill the worker
@@ -475,6 +510,7 @@ class ProgramHandle:
         block: bool = True,
         timeout: float | None = None,
         deadline: float | None = None,
+        admission: str | None = None,
     ) -> Future:
         """Enqueue one solve; returns the future of its answer.
 
@@ -482,14 +518,26 @@ class ProgramHandle:
         ``time.monotonic()`` value) bound how long the request may wait
         + run: an expired request fails with :class:`DeadlineExceeded`
         instead of occupying a worker.  A quarantined structure fails
-        fast with :class:`PoisonInput` -- in both cases the returned
-        future is already resolved."""
+        fast with :class:`PoisonInput` (or, for admission-quarantined
+        fingerprints, the stored
+        :class:`repro.errors.AdmissionRejected`) -- in both cases the
+        returned future is already resolved.
+
+        ``admission`` routes this request through the admission ladder
+        under that policy (overriding the service-wide default);
+        rejected requests fail their future with ``AdmissionRejected``
+        and quarantine their fingerprint."""
         if timeout is not None:
             if deadline is not None:
                 raise ValueError("pass timeout= or deadline=, not both")
             deadline = time.monotonic() + timeout
         return self._service._submit(
-            self.key, structure, td, block=block, deadline=deadline
+            self.key,
+            structure,
+            td,
+            block=block,
+            deadline=deadline,
+            admission=admission,
         )
 
     def submit_many(
@@ -500,6 +548,7 @@ class ProgramHandle:
         block: bool = True,
         timeout: float | None = None,
         deadline: float | None = None,
+        admission: str | None = None,
     ) -> list[Future]:
         """Enqueue a batch; returns one future per structure, in input
         order.  ``timeout`` is converted to one shared deadline for the
@@ -519,11 +568,15 @@ class ProgramHandle:
                 raise ValueError("pass timeout= or deadline=, not both")
             deadline = time.monotonic() + timeout
         return [
-            self.submit(s, td, block=block, deadline=deadline)
+            self.submit(
+                s, td, block=block, deadline=deadline, admission=admission
+            )
             for s, td in zip(structures, tds)
         ]
 
-    def solve_many(self, structures, tds=None, timeout=None) -> list:
+    def solve_many(
+        self, structures, tds=None, timeout=None, admission=None
+    ) -> list:
         """Submit a batch and wait: the blocking convenience mirror of
         ``CourcelleSolver.solve_many`` (same result list, same input
         order), served by the warm pool.
@@ -531,9 +584,20 @@ class ProgramHandle:
         ``timeout`` bounds the **whole batch**: one shared monotonic
         deadline is computed up front, threaded to every request, and
         each wait gets only the remainder -- the total wait is at most
-        ``timeout``, never N x timeout."""
+        ``timeout``, never N x timeout.
+
+        With admission active (per-call ``admission=`` or the
+        service-wide default), rejected items resolve **per slot**: the
+        result list holds each rejected request's
+        :class:`repro.errors.AdmissionRejected` in place of an answer
+        instead of the whole batch raising on the first bad input."""
         deadline = None if timeout is None else time.monotonic() + timeout
-        futures = self.submit_many(structures, tds, deadline=deadline)
+        effective = (
+            admission if admission is not None else self._service.admission
+        )
+        futures = self.submit_many(
+            structures, tds, deadline=deadline, admission=admission
+        )
         results = []
         for future in futures:
             remaining = (
@@ -541,7 +605,12 @@ class ProgramHandle:
                 if deadline is None
                 else max(0.0, deadline - time.monotonic())
             )
-            results.append(future.result(remaining))
+            try:
+                results.append(future.result(remaining))
+            except AdmissionRejected as exc:
+                if effective is None:
+                    raise
+                results.append(exc)
         return results
 
 
@@ -573,7 +642,14 @@ class SolverService:
       ``FaultPlan.from_env()`` (the ``REPRO_SERVICE_FAULTS``
       variable), empty in production;
     * ``shutdown_grace`` -- seconds each shutdown join waits before
-      escalating terminate() -> kill().
+      escalating terminate() -> kill();
+    * ``admission`` -- an :data:`repro.admission.POLICIES` name
+      (``"strict"`` / ``"repair"`` / ``"degrade"``) routing every
+      request through the untrusted-input admission ladder by default
+      (per-request ``admission=`` overrides); rejected fingerprints
+      are quarantined like poison inputs, and their stored
+      :class:`repro.errors.AdmissionRejected` fast-fails repeat
+      submissions.
 
     Use as a context manager for a drained shutdown::
 
@@ -597,6 +673,7 @@ class SolverService:
         fallback_backend: str | None = None,
         faults: "FaultPlan | str | None" = None,
         shutdown_grace: float = 5.0,
+        admission: str | None = None,
     ):
         if workers is None:
             workers = default_worker_count()
@@ -621,6 +698,14 @@ class SolverService:
                     f"unknown fallback backend {fallback_backend!r}; "
                     f"expected one of {sorted(known)}"
                 )
+        if admission is not None and admission not in POLICIES:
+            raise ValueError(
+                f"unknown admission policy {admission!r}; "
+                f"expected one of {POLICIES}"
+            )
+        #: service-wide admission policy default (per-request
+        #: ``admission=`` overrides); None keeps the trusting paths
+        self.admission = admission
         self.max_pending = max_pending
         self.max_shard = max_shard
         self.max_retries = max_retries
@@ -730,10 +815,14 @@ class SolverService:
                 self._payloads[key] = payload
         return handle
 
-    def solve_many(self, solver, structures, tds=None, timeout=None) -> list:
+    def solve_many(
+        self, solver, structures, tds=None, timeout=None, admission=None
+    ) -> list:
         """``CourcelleSolver.solve_many(..., service=self)`` lands
         here: register (cached) and solve the batch on the warm pool."""
-        return self.register(solver).solve_many(structures, tds, timeout)
+        return self.register(solver).solve_many(
+            structures, tds, timeout, admission=admission
+        )
 
     # -- quarantine ----------------------------------------------------
 
@@ -864,10 +953,23 @@ class SolverService:
     # -- submission ----------------------------------------------------
 
     def _submit(
-        self, key, structure, td, *, block: bool = True, deadline=None
+        self,
+        key,
+        structure,
+        td,
+        *,
+        block: bool = True,
+        deadline=None,
+        admission=None,
     ) -> Future:
         future: Future = Future()
-        request = _Request(structure, td, future, deadline)
+        request = _Request(
+            structure,
+            td,
+            future,
+            deadline,
+            admission if admission is not None else self.admission,
+        )
         reject: BaseException | None = None
         with self._space:
             if self._closed:
@@ -879,16 +981,21 @@ class SolverService:
                 if record is not None:
                     record.rejections += 1
                     self.stats.quarantine_rejections += 1
-                    reject = PoisonInput(
-                        f"structure {record.fingerprint} is quarantined: it "
-                        f"crashed its worker {record.crashes} time(s) "
-                        f"(program {record.program_key}); "
-                        f"evict_quarantine() to retry it",
-                        fingerprint=record.fingerprint,
-                        program_key=record.program_key,
-                        crashes=record.crashes,
-                        history=record.history,
-                    )
+                    if record.reason == "admission" and record.error is not None:
+                        # fail fast with the original typed rejection
+                        # (report attached), not a crash-flavoured one
+                        reject = record.error
+                    else:
+                        reject = PoisonInput(
+                            f"structure {record.fingerprint} is quarantined: it "
+                            f"crashed its worker {record.crashes} time(s) "
+                            f"(program {record.program_key}); "
+                            f"evict_quarantine() to retry it",
+                            fingerprint=record.fingerprint,
+                            program_key=record.program_key,
+                            crashes=record.crashes,
+                            history=record.history,
+                        )
             if reject is None and deadline is not None:
                 late = time.monotonic() - deadline
                 if late >= 0:
@@ -1046,7 +1153,10 @@ class SolverService:
                 "solve",
                 shard.shard_id,
                 shard.key,
-                [(request.structure, request.td) for request in shard.requests],
+                [
+                    (request.structure, request.td, request.admission)
+                    for request in shard.requests
+                ],
             )
         )
 
@@ -1132,6 +1242,24 @@ class SolverService:
                     self.stats.completed += 1
                     if tag == "fb":
                         self.stats.fallback_solves += 1
+                elif tag == "adm":
+                    _, verdict, value = outcome
+                    completions.append((request.future, value, None))
+                    self.stats.completed += 1
+                    if verdict == "repaired":
+                        self.stats.repaired += 1
+                    elif verdict == "degraded":
+                        self.stats.degraded += 1
+                    else:
+                        self.stats.admitted += 1
+                elif tag == "rej":
+                    _, exc = outcome
+                    completions.append((request.future, None, exc))
+                    self.stats.admission_rejected += 1
+                    self.stats.failed += 1
+                    self._quarantine_rejection_locked(
+                        request, shard.key, exc
+                    )
                 elif tag == "budget":
                     _, brief, dimension, limit, consumed = outcome
                     completions.append(
@@ -1345,6 +1473,25 @@ class SolverService:
             piece.resubmitted_at = now
             self._shards.appendleft(piece)
             self.stats.shards_resubmitted += 1
+
+    def _quarantine_rejection_locked(
+        self, request: _Request, key: str, exc: BaseException
+    ) -> None:
+        """Quarantine an admission-rejected fingerprint so repeat
+        submissions fail fast with the same typed rejection instead of
+        re-running verification (and possibly re-decomposition) on a
+        worker every time."""
+        fingerprint = request.fingerprint
+        if fingerprint not in self._quarantine:
+            self._quarantine[fingerprint] = QuarantineRecord(
+                fingerprint=fingerprint,
+                program_key=key,
+                crashes=request.crashes,
+                history=tuple(request.history),
+                reason="admission",
+                error=exc,
+            )
+            self.stats.quarantine_size = len(self._quarantine)
 
     def _poison_locked(self, request: _Request, key: str) -> PoisonInput:
         fingerprint = request.fingerprint

@@ -1,7 +1,13 @@
 """Finite structures substrate: signatures, tau-structures, graphs, schemas."""
 
 from .signature import GRAPH_SIGNATURE, SCHEMA_SIGNATURE, Predicate, Signature
-from .structure import Element, Fact, PointedStructure, Structure
+from .structure import (
+    Element,
+    Fact,
+    PointedStructure,
+    Structure,
+    structure_fingerprint,
+)
 from .graphs import (
     Graph,
     gaifman_graph,
@@ -34,6 +40,7 @@ __all__ = [
     "graph_to_structure",
     "relabel",
     "running_example",
+    "structure_fingerprint",
     "structure_to_graph",
     "subgraph",
 ]

@@ -12,6 +12,7 @@ elements may be arbitrary hashable Python values.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from itertools import permutations
 from typing import Any, Callable, Hashable, Iterable, Iterator, Mapping
@@ -19,6 +20,32 @@ from typing import Any, Callable, Hashable, Iterable, Iterator, Mapping
 from .signature import Signature
 
 Element = Hashable
+
+
+def structure_fingerprint(structure) -> str:
+    """A stable hex fingerprint of a structure's content.
+
+    Hashes the signature, domain, and fact set -- two structurally
+    equal structures fingerprint alike, so a quarantined poison input
+    is recognized however it is resubmitted.  Arbitrary (non-Structure)
+    objects degrade to a type + ``repr`` hash rather than failing: the
+    fingerprint is diagnostic metadata and must never be the thing
+    that throws."""
+    hasher = hashlib.sha256()
+    try:
+        hasher.update(str(structure.signature).encode())
+        for element in sorted(structure.domain, key=repr):
+            hasher.update(repr(element).encode())
+        for fact in structure.facts():
+            hasher.update(repr(fact).encode())
+    except Exception:
+        hasher = hashlib.sha256()
+        hasher.update(type(structure).__name__.encode())
+        try:
+            hasher.update(repr(structure)[:4096].encode())
+        except Exception:  # pragma: no cover - repr() itself raised
+            pass
+    return hasher.hexdigest()[:16]
 
 
 @dataclass(frozen=True, order=True)

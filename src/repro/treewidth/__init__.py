@@ -1,6 +1,12 @@
 """Treewidth substrate: decompositions, construction, normal forms, encoding."""
 
-from .decomposition import NodeId, RootedTree, TreeDecomposition
+from .decomposition import (
+    NodeId,
+    RootedTree,
+    TreeDecomposition,
+    refinement_violations,
+    validate_refinement,
+)
 from .exact import is_treewidth_at_most, treewidth_exact
 from .heuristics import (
     decompose_graph,
@@ -47,6 +53,8 @@ __all__ = [
     "min_fill_order",
     "normalize",
     "pad_bags_to_full_size",
+    "refinement_violations",
+    "validate_refinement",
     "widen",
     "reroot_to_contain",
     "surround_branches",

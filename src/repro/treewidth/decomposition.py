@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable, Iterator, Mapping
 
+from ..errors import InvalidDecomposition, Violation
 from ..structures.graphs import Graph
 from ..structures.structure import Element, Structure
 
@@ -244,45 +245,133 @@ class TreeDecomposition:
                     stack.append(nbr)
         return seen == nodes
 
-    def validate_for_graph(self, graph: Graph) -> None:
-        """Raise ValueError unless this is a valid TD of ``graph``."""
+    def graph_violations(self, graph: Graph) -> list[Violation]:
+        """All Section 2.2 axiom violations against ``graph`` (no raise).
+
+        The messages preserve the historical first-fail phrasings
+        (callers and tests substring-match on them); the codes and
+        subjects are the machine-readable layer the admission control
+        of :mod:`repro.admission` consumes.
+        """
+        violations: list[Violation] = []
         elements = self.all_elements()
         missing = graph.vertices - elements
         if missing:
-            raise ValueError(f"vertices never covered: {sorted(missing, key=repr)}")
+            subject = tuple(sorted(missing, key=repr))
+            violations.append(
+                Violation(
+                    "element-uncovered",
+                    f"vertices never covered: {sorted(missing, key=repr)}",
+                    subject=subject,
+                    repairable=True,
+                )
+            )
         alien = elements - graph.vertices
         if alien:
-            raise ValueError(f"bags mention non-vertices: {sorted(alien, key=repr)}")
+            subject = tuple(sorted(alien, key=repr))
+            violations.append(
+                Violation(
+                    "alien-element",
+                    f"bags mention non-vertices: {sorted(alien, key=repr)}",
+                    subject=subject,
+                    repairable=True,
+                )
+            )
         for u, v in graph.edges():
             if not any({u, v} <= bag for bag in self.bags.values()):
-                raise ValueError(f"edge ({u!r}, {v!r}) covered by no bag")
+                violations.append(
+                    Violation(
+                        "tuple-uncovered",
+                        f"edge ({u!r}, {v!r}) covered by no bag",
+                        subject=(u, v),
+                        repairable=True,
+                    )
+                )
         bad = self.connectedness_violations()
         if bad:
-            raise ValueError(f"connectedness violated for {sorted(bad, key=repr)}")
+            subject = tuple(sorted(bad, key=repr))
+            violations.append(
+                Violation(
+                    "connectedness",
+                    f"connectedness violated for {sorted(bad, key=repr)}",
+                    subject=subject,
+                    repairable=True,
+                )
+            )
+        return violations
 
-    def validate_for_structure(self, structure: Structure) -> None:
-        """Raise ValueError unless this is a valid TD of ``structure``.
+    def structure_violations(self, structure: Structure) -> list[Violation]:
+        """All Section 2.2 axiom violations against ``structure``.
 
-        Checks conditions (1)-(3) of Section 2.2 directly against the
-        relations (condition 2 is per-tuple, which on the Gaifman graph
-        coincides with per-edge coverage only for arity <= 2; here we
-        check the real thing).
+        Checks conditions (1)-(3) directly against the relations
+        (condition 2 is per-tuple, which on the Gaifman graph coincides
+        with per-edge coverage only for arity <= 2; here we check the
+        real thing).  Collects *every* violation instead of stopping at
+        the first -- the admission layer repairs them as a set.
         """
+        violations: list[Violation] = []
         elements = self.all_elements()
         missing = structure.domain - elements
         if missing:
-            raise ValueError(f"elements never covered: {sorted(missing, key=repr)}")
+            subject = tuple(sorted(missing, key=repr))
+            violations.append(
+                Violation(
+                    "element-uncovered",
+                    f"elements never covered: {sorted(missing, key=repr)}",
+                    subject=subject,
+                    repairable=True,
+                )
+            )
         alien = elements - structure.domain
         if alien:
-            raise ValueError(f"bags mention non-elements: {sorted(alien, key=repr)}")
+            subject = tuple(sorted(alien, key=repr))
+            violations.append(
+                Violation(
+                    "alien-element",
+                    f"bags mention non-elements: {sorted(alien, key=repr)}",
+                    subject=subject,
+                    repairable=True,
+                )
+            )
         for name in structure.signature:
             for tup in structure.relation(name):
                 needed = set(tup)
                 if not any(needed <= bag for bag in self.bags.values()):
-                    raise ValueError(f"tuple {name}{tup!r} covered by no bag")
+                    violations.append(
+                        Violation(
+                            "tuple-uncovered",
+                            f"tuple {name}{tup!r} covered by no bag",
+                            subject=(name, tup),
+                            repairable=True,
+                        )
+                    )
         bad = self.connectedness_violations()
         if bad:
-            raise ValueError(f"connectedness violated for {sorted(bad, key=repr)}")
+            subject = tuple(sorted(bad, key=repr))
+            violations.append(
+                Violation(
+                    "connectedness",
+                    f"connectedness violated for {sorted(bad, key=repr)}",
+                    subject=subject,
+                    repairable=True,
+                )
+            )
+        return violations
+
+    def validate_for_graph(self, graph: Graph) -> None:
+        """Raise :class:`repro.errors.InvalidDecomposition` (a
+        ``ValueError``) unless this is a valid TD of ``graph``."""
+        violations = self.graph_violations(graph)
+        if violations:
+            raise InvalidDecomposition.from_violations(violations)
+
+    def validate_for_structure(self, structure: Structure) -> None:
+        """Raise :class:`repro.errors.InvalidDecomposition` (a
+        ``ValueError``) unless this is a valid TD of ``structure``,
+        reporting **all** violations of the Section 2.2 axioms."""
+        violations = self.structure_violations(structure)
+        if violations:
+            raise InvalidDecomposition.from_violations(violations)
 
     def is_valid_for_structure(self, structure: Structure) -> bool:
         try:
@@ -327,3 +416,46 @@ class TreeDecomposition:
         return (
             f"TreeDecomposition(nodes={self.node_count()}, width={self.width})"
         )
+
+
+# ----------------------------------------------------------------------
+# Shared validation for the normal-form refinements
+# ----------------------------------------------------------------------
+
+
+def refinement_violations(dec, extra: Iterable[Violation] = ()) -> list[Violation]:
+    """Per-node normal-form violations of a refined decomposition.
+
+    ``dec`` is anything exposing ``tree`` and a per-node ``node_kind``
+    classifier that raises ``ValueError`` on malformed nodes -- i.e.
+    :class:`repro.treewidth.nice.NiceTreeDecomposition` and
+    :class:`repro.treewidth.normalize.NormalizedTreeDecomposition`,
+    whose previously duplicated ``validate`` bodies both route here.
+    ``extra`` prepends refinement-specific violations (e.g. the
+    tuple-bag distinctness check).
+    """
+    violations = list(extra)
+    for node in dec.tree.nodes():
+        try:
+            dec.node_kind(node)
+        except ValueError as exc:
+            violations.append(
+                Violation("malformed-node", str(exc), subject=(node,))
+            )
+    return violations
+
+
+def validate_refinement(
+    dec, structure: Structure | None = None, extra: Iterable[Violation] = ()
+) -> None:
+    """The shared ``validate`` implementation of the nice/normalized
+    refinements: normal-form shape first (every node classifiable,
+    plus ``extra`` refinement-specific checks), then -- if a structure
+    is supplied -- the Section 2.2 axioms against it.  Raises
+    :class:`repro.errors.InvalidDecomposition` carrying all collected
+    violations."""
+    violations = refinement_violations(dec, extra)
+    if violations:
+        raise InvalidDecomposition.from_violations(violations)
+    if structure is not None:
+        dec.as_set_decomposition().validate_for_structure(structure)

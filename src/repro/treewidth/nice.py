@@ -29,7 +29,12 @@ from enum import Enum
 from typing import Callable, Iterable, Mapping
 
 from ..structures.structure import Element, Structure
-from .decomposition import NodeId, RootedTree, TreeDecomposition
+from .decomposition import (
+    NodeId,
+    RootedTree,
+    TreeDecomposition,
+    validate_refinement,
+)
 
 
 class NiceNodeKind(Enum):
@@ -98,10 +103,7 @@ class NiceTreeDecomposition:
         return v
 
     def validate(self, structure: Structure | None = None) -> None:
-        for node in self.tree.nodes():
-            self.node_kind(node)  # raises on malformed nodes
-        if structure is not None:
-            self.as_set_decomposition().validate_for_structure(structure)
+        validate_refinement(self, structure)
 
     def __repr__(self) -> str:
         return (

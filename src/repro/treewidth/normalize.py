@@ -21,8 +21,14 @@ from __future__ import annotations
 from enum import Enum
 from typing import Mapping
 
+from ..errors import Violation
 from ..structures.structure import Element, Structure
-from .decomposition import NodeId, RootedTree, TreeDecomposition
+from .decomposition import (
+    NodeId,
+    RootedTree,
+    TreeDecomposition,
+    validate_refinement,
+)
 
 
 class NormalizedNodeKind(Enum):
@@ -94,13 +100,16 @@ class NormalizedTreeDecomposition:
 
     def validate(self, structure: Structure | None = None) -> None:
         """Check Definition 2.3 plus (optionally) the TD axioms."""
-        for node, bag in self.tuples.items():
-            if len(set(bag)) != len(bag):
-                raise ValueError(f"bag of {node} repeats elements: {bag}")
-        for node in self.tree.nodes():
-            self.node_kind(node)  # raises on malformed nodes
-        if structure is not None:
-            self.as_set_decomposition().validate_for_structure(structure)
+        distinctness = [
+            Violation(
+                "bag-repeats-elements",
+                f"bag of {node} repeats elements: {bag}",
+                subject=(node,),
+            )
+            for node, bag in self.tuples.items()
+            if len(set(bag)) != len(bag)
+        ]
+        validate_refinement(self, structure, extra=distinctness)
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,28 @@
+"""Shared fixtures for the admission-layer tests."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import CourcelleSolver, undirected_graph_filter
+from repro.mso import formulas
+from repro.structures import GRAPH_SIGNATURE
+
+CORPUS_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(__file__)), "data", "malformed"
+)
+
+
+@pytest.fixture(scope="session")
+def neighbor_solver():
+    """A width-1 has_neighbor solver -- the cheap compiled program the
+    admission tests drive end to end."""
+    return CourcelleSolver(
+        formulas.has_neighbor("x"),
+        GRAPH_SIGNATURE,
+        width=1,
+        free_var="x",
+        structure_filter=undirected_graph_filter,
+    )

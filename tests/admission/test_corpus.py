@@ -1,0 +1,94 @@
+"""Conformance pins for the on-disk malformed corpus: every case admits
+to exactly the verdict its JSON declares, and the repairs the ladder
+reports actually address the injected defects."""
+
+import os
+
+import pytest
+
+from repro.admission import admit, load_corpus, load_corpus_case
+from repro.errors import AdmissionRejected
+from repro.structures import GRAPH_SIGNATURE
+
+from .conftest import CORPUS_DIR
+
+CASES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_present_and_covers_the_ladder():
+    assert len(CASES) >= 10
+    expected = {case["expect"] for case in CASES}
+    assert expected == {"admitted", "repaired", "degraded", "rejected"}
+
+
+@pytest.mark.parametrize("case", CASES, ids=[c["name"] for c in CASES])
+def test_case_reaches_declared_verdict(case):
+    kwargs = dict(
+        signature=GRAPH_SIGNATURE,
+        width=1,
+        td=case["td"],
+        policy="degrade",
+    )
+    if case["expect"] == "rejected":
+        with pytest.raises(AdmissionRejected) as err:
+            admit(case["structure"], **kwargs)
+        report = err.value.report
+        assert report.verdict == "rejected"
+        assert report.violations  # rejection always names its reasons
+    else:
+        result = admit(case["structure"], **kwargs)
+        assert result.report.verdict == case["expect"]
+        if case["expect"] == "repaired":
+            assert result.report.repairs
+        if case["expect"] == "degraded":
+            assert result.action == "degrade"
+
+
+@pytest.mark.parametrize(
+    "case",
+    [c for c in CASES if c["expect"] in ("repaired", "rejected")],
+    ids=[c["name"] for c in CASES if c["expect"] in ("repaired", "rejected")],
+)
+def test_report_names_each_injected_defect(case):
+    try:
+        result = admit(
+            case["structure"],
+            signature=GRAPH_SIGNATURE,
+            width=1,
+            td=case["td"],
+            policy="degrade",
+        )
+        violations = result.report.violations
+    except AdmissionRejected as exc:
+        violations = exc.report.violations
+    codes = {v.code for v in violations}
+    for defect in case["defects"]:
+        assert defect in codes, (
+            f"{case['name']}: injected defect {defect!r} missing from "
+            f"report codes {sorted(codes)}"
+        )
+
+
+def test_load_corpus_case_single_file():
+    path = os.path.join(CORPUS_DIR, "00_clean.json")
+    case = load_corpus_case(path)
+    assert case["name"] == "clean"
+    assert case["expect"] == "admitted"
+    assert case["td"] is not None
+
+
+def test_strict_policy_only_passes_the_clean_case():
+    strict_admitted = []
+    for case in CASES:
+        try:
+            admit(
+                case["structure"],
+                signature=GRAPH_SIGNATURE,
+                width=1,
+                td=case["td"],
+                policy="strict",
+            )
+        except AdmissionRejected:
+            continue
+        strict_admitted.append(case["name"])
+    assert strict_admitted == ["clean"]

@@ -1,0 +1,170 @@
+"""Verification: structure-vs-signature and decomposition checks
+collect *all* violations as structured records."""
+
+import pytest
+
+from repro.admission import (
+    RawStructure,
+    coerce_structure,
+    tree_violations,
+    verify_decomposition,
+    verify_structure,
+)
+from repro.structures import GRAPH_SIGNATURE, Signature, Structure
+from repro.treewidth import RootedTree, TreeDecomposition, decompose_structure
+
+
+def path_structure(n=4):
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return Structure(
+        GRAPH_SIGNATURE, range(n), {"e": edges + [(b, a) for a, b in edges]}
+    )
+
+
+class TestVerifyStructure:
+    def test_clean_fast_path(self):
+        assert verify_structure(path_structure(), GRAPH_SIGNATURE) == []
+
+    def test_unknown_predicate_is_repairable(self):
+        sig = Signature.of(e=2, colour=1)
+        s = Structure(sig, range(3), {"e": [(0, 1)], "colour": [(2,)]})
+        violations = verify_structure(s, GRAPH_SIGNATURE)
+        assert [v.code for v in violations] == ["unknown-predicate"]
+        assert all(v.repairable for v in violations)
+
+    def test_missing_predicate_is_repairable(self):
+        s = Structure(Signature.of(), [0, 1], {})
+        violations = verify_structure(s, GRAPH_SIGNATURE)
+        assert [v.code for v in violations] == ["missing-predicate"]
+        assert violations[0].repairable
+
+    def test_arity_mismatch_is_fatal(self):
+        sig = Signature.of(e=3)
+        s = Structure(sig, range(3), {"e": [(0, 1, 2)]})
+        violations = verify_structure(s, GRAPH_SIGNATURE)
+        assert [v.code for v in violations] == ["arity-mismatch"]
+        assert not violations[0].repairable
+
+    def test_raw_structure_domain_closure(self):
+        raw = RawStructure(GRAPH_SIGNATURE, [0, 1], {"e": [(0, 9)]})
+        violations = verify_structure(raw, GRAPH_SIGNATURE)
+        assert "domain-closure" in {v.code for v in violations}
+        assert not any(v.repairable for v in violations)
+
+    def test_raw_structure_tuple_arity(self):
+        raw = RawStructure(GRAPH_SIGNATURE, [0, 1], {"e": [(0, 1, 0)]})
+        # the raw signature says e/2 but a tuple has three slots
+        violations = verify_structure(raw, GRAPH_SIGNATURE)
+        assert "arity-mismatch" in {v.code for v in violations}
+
+    def test_unreadable_object_is_one_fatal_violation(self):
+        class Garbage:
+            @property
+            def signature(self):
+                raise RuntimeError("nope")
+
+        violations = verify_structure(Garbage(), GRAPH_SIGNATURE)
+        assert [v.code for v in violations] == ["unreadable-structure"]
+        assert not violations[0].repairable
+
+    def test_all_violations_collected_not_first_fail(self):
+        sig = Signature.of(e=3, colour=1)
+        s = Structure(sig, range(3), {"e": [(0, 1, 2)], "colour": [(0,)]})
+        codes = {v.code for v in verify_structure(s, GRAPH_SIGNATURE)}
+        assert codes == {"arity-mismatch", "unknown-predicate"}
+
+
+class TestCoerceStructure:
+    def test_drops_unknown_predicates(self):
+        sig = Signature.of(e=2, colour=1)
+        s = Structure(sig, range(3), {"e": [(0, 1), (1, 0)], "colour": [(2,)]})
+        violations = verify_structure(s, GRAPH_SIGNATURE)
+        coerced = coerce_structure(s, GRAPH_SIGNATURE, violations)
+        assert isinstance(coerced, Structure)
+        assert coerced.signature == GRAPH_SIGNATURE
+        assert coerced.relation("e") == s.relation("e")
+
+    def test_refuses_fatal_violations(self):
+        raw = RawStructure(GRAPH_SIGNATURE, [0, 1], {"e": [(0, 9)]})
+        violations = verify_structure(raw, GRAPH_SIGNATURE)
+        assert coerce_structure(raw, GRAPH_SIGNATURE, violations) is None
+
+
+def corrupt_td(bags, children, root=0):
+    """Assemble a (possibly invalid) decomposition without the
+    constructors' checks."""
+    tree = RootedTree.__new__(RootedTree)
+    tree.root = root
+    tree._children = {n: list(c) for n, c in children.items()}
+    tree._parent = {}
+    for node, kids in children.items():
+        for child in kids:
+            tree._parent[child] = node
+    for node in children:
+        tree._parent.setdefault(node, None)
+    tree._next_id = max(children, default=0) + 1
+    td = TreeDecomposition.__new__(TreeDecomposition)
+    td.tree = tree
+    td.bags = {n: frozenset(b) for n, b in bags.items()}
+    return td
+
+
+class TestTreeViolations:
+    def test_clean_tree(self):
+        td = decompose_structure(path_structure())
+        assert tree_violations(td) == []
+
+    def test_cycle_is_diagnosed_not_hung(self):
+        td = corrupt_td(
+            {0: [0, 1], 1: [1, 2], 2: [2, 3]},
+            {0: [1], 1: [2], 2: [0]},
+        )
+        codes = [v.code for v in tree_violations(td)]
+        assert codes and set(codes) == {"tree-corrupt"}
+
+    def test_orphan_node(self):
+        td = corrupt_td(
+            {0: [0, 1], 1: [1, 2], 2: [2, 3]},
+            {0: [1], 1: [], 2: []},
+        )
+        assert any(
+            "unreachable" in v.message for v in tree_violations(td)
+        )
+
+    def test_missing_bag(self):
+        td = corrupt_td({0: [0, 1]}, {0: [1], 1: []})
+        assert any("no bag" in v.message for v in tree_violations(td))
+
+    def test_missing_root(self):
+        td = corrupt_td({1: [0, 1]}, {1: []}, root=0)
+        violations = tree_violations(td)
+        assert violations[0].code == "tree-corrupt"
+        assert "root" in violations[0].message
+
+
+class TestVerifyDecomposition:
+    def test_collects_axiom_violations(self):
+        s = path_structure(4)
+        td = corrupt_td(
+            {0: [0, 1], 1: [1], 2: [2, 3]},
+            {0: [1], 1: [2], 2: []},
+        )
+        codes = {v.code for v in verify_decomposition(td, s)}
+        assert "tuple-uncovered" in codes  # edge (1, 2) in no bag
+
+    def test_width_violation_keeps_exceeds_pin(self):
+        s = path_structure(4)
+        td = decompose_structure(s)
+        violations = verify_decomposition(td, s, width_limit=0)
+        width = [v for v in violations if v.code == "width-exceeded"]
+        assert len(width) == 1
+        assert "exceeds" in width[0].message
+        assert not width[0].repairable
+
+    def test_corrupt_tree_short_circuits_axioms(self):
+        s = path_structure(4)
+        td = corrupt_td(
+            {0: [0, 1], 1: [1, 2], 2: [2, 3]},
+            {0: [1], 1: [2], 2: [0]},
+        )
+        assert {v.code for v in verify_decomposition(td, s)} == {"tree-corrupt"}

@@ -74,7 +74,7 @@ class TestEngineBaseline:
 
     def test_schema_version(self, payload):
         bench = _bench_module()
-        assert payload["schema"] == "bench-engine/v6"
+        assert payload["schema"] == "bench-engine/v7"
         assert payload["schema"] == bench.SCHEMA_VERSION
         assert payload["benchmark"] == "benchmarks/bench_datalog_engine.py"
 
@@ -219,7 +219,7 @@ class TestBaselineDrift:
     checked-in BENCH_engine.json."""
 
     @staticmethod
-    def _payload(schema="bench-engine/v6", quick=True):
+    def _payload(schema="bench-engine/v7", quick=True):
         return {
             "schema": schema,
             "quick": quick,
@@ -575,6 +575,114 @@ class TestServiceResilience:
             _resilience_record(p50=200.0, p95=60.0)
         )
         assert any("p95" in f for f in failures)
+
+
+def _admission_record(
+    ratio=1.01,
+    identical=True,
+    requests=11,
+    resolved=11,
+    rejected=2,
+    expected_rejected=2,
+    verdicts_ok=True,
+    restarts=0,
+):
+    return {
+        "overhead": {
+            "requests": 10,
+            "repeats": 3,
+            "legacy_ms": 100.0,
+            "admission_ms": 100.0 * ratio,
+            "ratio": ratio,
+            "limit": 1.05,
+            "identical": identical,
+        },
+        "containment": {
+            "corpus": "tests/data/malformed",
+            "requests": requests,
+            "resolved": resolved,
+            "rejected": rejected,
+            "expected_rejected": expected_rejected,
+            "verdicts_as_declared": verdicts_ok,
+            "worker_restarts": restarts,
+            "stats": {
+                "admitted": 1,
+                "repaired": 7,
+                "degraded": 1,
+                "admission_rejected": rejected,
+            },
+        },
+    }
+
+
+class TestAdmissionSection:
+    """The admission section of BENCH_engine.json (the v7 --admission
+    mode of bench_solver_service.py) and its CI gate."""
+
+    @pytest.fixture(scope="class")
+    def record(self):
+        payload = json.loads((REPO_ROOT / "BENCH_engine.json").read_text())
+        return payload["admission"]
+
+    def test_checked_in_record_shape(self, record):
+        overhead = record["overhead"]
+        assert overhead["identical"] is True
+        assert overhead["legacy_ms"] > 0
+        assert overhead["admission_ms"] > 0
+        assert overhead["ratio"] <= overhead["limit"]
+        containment = record["containment"]
+        assert containment["requests"] >= 10
+        assert containment["resolved"] == containment["requests"]
+        assert containment["rejected"] == containment["expected_rejected"]
+        assert containment["verdicts_as_declared"] is True
+        assert containment["worker_restarts"] == 0
+
+    def test_checked_in_record_passes_the_gate(self, record):
+        bench = _service_bench_module()
+        assert bench.check_admission_contracts(record) == []
+
+    def test_gate_passes_on_good_record(self):
+        bench = _service_bench_module()
+        assert bench.check_admission_contracts(_admission_record()) == []
+
+    def test_gate_fails_over_the_overhead_limit(self):
+        bench = _service_bench_module()
+        failures = bench.check_admission_contracts(
+            _admission_record(ratio=1.2)
+        )
+        assert any("overhead" in f for f in failures)
+
+    def test_gate_fails_on_answer_divergence(self):
+        bench = _service_bench_module()
+        failures = bench.check_admission_contracts(
+            _admission_record(identical=False)
+        )
+        assert any("differ" in f for f in failures)
+
+    def test_gate_fails_on_hung_requests(self):
+        bench = _service_bench_module()
+        failures = bench.check_admission_contracts(
+            _admission_record(resolved=9)
+        )
+        assert any("hung" in f for f in failures)
+
+    def test_gate_fails_on_wrong_verdicts(self):
+        bench = _service_bench_module()
+        failures = bench.check_admission_contracts(
+            _admission_record(rejected=3)
+        )
+        assert any("rejections" in f for f in failures)
+        failures = bench.check_admission_contracts(
+            _admission_record(verdicts_ok=False)
+        )
+        assert any("verdicts" in f for f in failures)
+
+    def test_gate_fails_on_worker_deaths(self):
+        bench = _service_bench_module()
+        failures = bench.check_admission_contracts(
+            _admission_record(restarts=1)
+        )
+        assert any("kill a worker" in f for f in failures)
 
 
 class TestLinearFit:
