@@ -36,13 +36,16 @@ PR 3 path), and the raw-value PR 2 pipeline (``quasi-guarded-raw``):
 * ``solve-grid2x-N`` -- the *width-2* grid family: a 2 x N ladder
   grid solved through the real Theorem 4.5 path (``has_neighbor``
   compiled at width 2 relative to the grid class --
-  ``grid_graph_filter``).  Runs the streamed production form only
-  (the minimized program still has ~20k rules, ~96% of which demand
-  pruning discards per structure; the eager/raw ablations ground the
-  full cross product -- 1.4M ground rules at N=40 -- and are
-  benchmarked on the width-1 workloads instead).  Gated on exact
-  agreement with *direct MSO evaluation* and with the hand-written
-  cover DP over the same ``A_td`` encoding;
+  ``grid_graph_filter``).  Runs the streamed production form (the
+  fold+unfold shrunk program -- ~770 rules since the v8 shrinking
+  passes -- on the single-pass route) against the ``passes=()``
+  ablation (the ~20k-rule program PR 9 served, multi-pass
+  delta-iteration); the eager/raw ablations ground the full cross
+  product -- 1.4M ground rules at N=40 -- and are benchmarked on the
+  width-1 workloads instead.  Gated on exact agreement with *direct
+  MSO evaluation* and with the hand-written cover DP over the same
+  ``A_td`` encoding, and on the shrunk program beating the ablation
+  by ``GRID2X_PASSES_SPEEDUP``;
 * ``solve-grid-K`` -- a K x K grid is decomposed at its natural width
   (≈ K, far outside the compiler's envelope), and a Figure-style
   quasi-guarded dynamic program over its wide-bag ``A_td`` encoding
@@ -80,7 +83,9 @@ Two entry points:
      dead weight -- and the streamed form's headroom -- shrank); the
      eager interned form stays >= 2x faster than the raw ablation on
      the grid cover DP; the grid2x answers equal direct MSO
-     evaluation and the hand-written cover DP on the same encoding;
+     evaluation and the hand-written cover DP on the same encoding,
+     and the shrunk (fold+unfold, single-pass) grid2x solve beats the
+     ``passes=()`` ablation by >= ``GRID2X_PASSES_SPEEDUP`` (v8);
   6. ``solve_many`` returns identical (canonically serialized)
      results for 1 worker and N workers;
   7. the checked-in ``BENCH_engine.json`` must match the harness's
@@ -383,7 +388,12 @@ def run_comparison(quick, repeat=3):
 # eager interned ablation vs raw values -- on chain/grid/tree families.
 # ----------------------------------------------------------------------
 
-SCHEMA_VERSION = "bench-engine/v7"
+SCHEMA_VERSION = "bench-engine/v8"
+
+#: the v8 gate on the grid2x solve: the shrunk program (fold + unfold
+#: passes, single-pass evaluation) must beat the passes=() ablation --
+#: the program PR 9 served -- by this factor
+GRID2X_PASSES_SPEEDUP = 3.0
 
 SOLVER_BACKENDS = [
     "quasi-guarded",
@@ -497,6 +507,18 @@ def solver_workloads(quick):
         free_var="x",
         structure_filter=grid_graph_filter,
     )
+    # the passes=() ablation: the very same query compiled without the
+    # program-shrinking passes (ROADMAP D) -- the program PR 9 served.
+    # The v8 gate times it on the same encoding; the shrunk program on
+    # the single-pass route must beat it by GRID2X_PASSES_SPEEDUP.
+    compiled2_ablated = compile_unary_query(
+        formulas.has_neighbor("x"),
+        GRAPH_SIGNATURE,
+        width=2,
+        free_var="x",
+        structure_filter=grid_graph_filter,
+        passes=(),
+    )
     structure, encoded, width = encode(Graph.grid(2, ladder_n), min_width=2)
     reference = mso_query(structure, formulas.has_neighbor("x"), "x")
     dp = QuasiGuardedEvaluator(
@@ -519,6 +541,8 @@ def solver_workloads(quick):
             "backends": ["quasi-guarded"],
             "reference": reference,
             "dp_answers": dp_answers,
+            "ablation_program": compiled2_ablated.program,
+            "ablation_dependencies": compiled2_ablated.dependencies(),
         }
     )
 
@@ -583,9 +607,37 @@ def run_solver_comparison(quick, repeat=3):
                 runs[backend]["peak_live_rules"] = (
                     warm.stats.peak_live_rules
                 )
+        if "ablation_program" in workload:
+            # the passes=() arm: same query, unshrunk program, the
+            # multi-pass delta-iteration route (single_pass=False)
+            evaluator = QuasiGuardedEvaluator(
+                workload["ablation_program"],
+                dependencies=workload["ablation_dependencies"],
+                mode="streamed",
+                demand=answer_pred,
+                single_pass=False,
+            )
+            warm = evaluator.evaluate(encoded)
+            answers["quasi-guarded-nopasses"] = warm.unary_answers(
+                answer_pred
+            )
+            ms = time_ms(
+                lambda: evaluator.evaluate(encoded).unary_answers(
+                    answer_pred
+                ),
+                repeat=repeat,
+            )
+            runs["quasi-guarded-nopasses"] = {
+                "ms": round(ms, 3),
+                "ground_rules": warm.ground_rules,
+                "answers": len(answers["quasi-guarded-nopasses"]),
+                "rules_pruned": warm.stats.rules_pruned,
+                "peak_live_rules": warm.stats.peak_live_rules,
+            }
         results[name] = runs
         streamed_run = runs["quasi-guarded"]
-        for backend in workload["backends"]:
+        arms = list(runs)
+        for backend in arms:
             run = runs[backend]
             speedup = (
                 run["ms"] / streamed_run["ms"]
@@ -604,7 +656,7 @@ def run_solver_comparison(quick, repeat=3):
                 ]
             )
         reference = answers["quasi-guarded"]
-        for backend in workload["backends"]:
+        for backend in arms:
             if answers[backend] != reference:
                 failures.append(
                     f"{name}: {backend} disagrees with the streamed "
@@ -688,6 +740,16 @@ def check_solver_contracts(name, runs):
             f"{name}: eager interned {eager['ms']:.1f}ms vs raw "
             f"{raw['ms']:.1f}ms -- less than the required 2x speedup "
             "on the grid solve"
+        )
+    nopasses = runs.get("quasi-guarded-nopasses")
+    if nopasses is not None and (
+        streamed["ms"] * GRID2X_PASSES_SPEEDUP > nopasses["ms"]
+    ):
+        failures.append(
+            f"{name}: shrunk program {streamed['ms']:.1f}ms vs "
+            f"passes=() ablation {nopasses['ms']:.1f}ms -- less than "
+            f"the required {GRID2X_PASSES_SPEEDUP:g}x speedup from "
+            "the program-shrinking passes + single-pass route"
         )
     return failures
 
@@ -1038,9 +1100,10 @@ def build_payload(
             if backends.get("semi-naive", {}).get("ms")
         },
         "solver_program": (
-            "Theorem 4.5 has_neighbor, minimized (chain/tree at width 1; "
-            "grid2x ladder at width 2 via grid_graph_filter, streamed "
-            "only, conformance-pinned to direct MSO + cover DP); "
+            "Theorem 4.5 has_neighbor, minimized + shrinking passes "
+            "(chain/tree at width 1; grid2x ladder at width 2 via "
+            "grid_graph_filter, streamed shrunk program vs passes=() "
+            "ablation, conformance-pinned to direct MSO + cover DP); "
             "A_td cover DP at natural width (grid)"
         ),
         "solver_workloads": solver_results,
@@ -1190,7 +1253,8 @@ def main(argv=None) -> int:
         "quasi-guarded pipeline matches the eager and raw ablations' "
         "answers, prunes rules, and beats eager >= 2x on the tree solve "
         "and >= 1.3x on the chain solve; the width-2 grid2x solve matches "
-        "direct MSO evaluation and the hand-written cover DP; eager stays "
+        "direct MSO evaluation and the hand-written cover DP and beats "
+        "the passes=() ablation; eager stays "
         ">= 2x over raw on the grid solve; the profiled replan matches "
         "static plans, clears 1.5x on the skewed join, and "
         "MinIndexSelection shares indexes across nested signatures; "

@@ -22,6 +22,11 @@ machine-readable baseline ``BENCH_compiler.json`` to the repo root
    (``classes <= types``) and the width-2 grid program stays under
    ``MAX_GRID2_RULES`` rules (the emitted program must remain
    practically evaluable, not just constructible);
+3b. (v2) the program-shrinking passes only shrink
+   (``rules_after_passes <= rules``, ``classes_folded >= 0``) and the
+   width-2 grid program lands under ``MAX_GRID2_RULES_AFTER_PASSES``
+   rules after ⊥-insensitive folding + recursion elimination
+   (ROADMAP D);
 4. the unfiltered graph compile still exhausts a 2000-type budget --
    the paper's state explosion is a property of the construction, not
    a bug to be fixed, and this gate fails if a change accidentally
@@ -44,10 +49,15 @@ except ImportError:  # running as a plain script without install
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_compiler.json"
-SCHEMA_VERSION = "bench-compiler/v1"
+SCHEMA_VERSION = "bench-compiler/v2"
 
 #: contract 3: the width-2 grid-class program must stay evaluable
 MAX_GRID2_RULES = 60000
+
+#: contract 6 (v2): after the program-shrinking passes (ROADMAP D --
+#: ⊥-insensitive folding + recursion elimination) the same width-2
+#: grid-class program must land well under the evaluability bound
+MAX_GRID2_RULES_AFTER_PASSES = 10000
 
 #: the per-record fields whose *presence* the drift gate pins
 RECORD_FIELDS = (
@@ -60,6 +70,9 @@ RECORD_FIELDS = (
     "types",
     "classes",
     "rules",
+    "classes_folded",
+    "rules_after_passes",
+    "bounded_predicates",
     "max_reduced_witness",
     "max_witness_typed",
     "type_computations",
@@ -191,6 +204,9 @@ def run_compiles(quick):
             types=stats.up_types,
             classes=stats.up_classes,
             rules=stats.rules,
+            classes_folded=stats.classes_folded,
+            rules_after_passes=stats.rules_after_passes,
+            bounded_predicates=stats.bounded_predicates,
             max_reduced_witness=stats.max_reduced_witness,
             max_witness_typed=stats.max_witness_typed,
             type_computations=stats.type_computations,
@@ -208,11 +224,31 @@ def run_compiles(quick):
                 f"{name}: minimization grew the predicate count "
                 f"({stats.up_classes} classes > {stats.up_types} types)"
             )
+        if stats.classes_folded < 0:
+            failures.append(
+                f"{name}: classes_folded {stats.classes_folded} is "
+                "negative -- folding must only merge"
+            )
+        if stats.rules_after_passes > stats.rules:
+            failures.append(
+                f"{name}: the shrinking passes grew the program "
+                f"({stats.rules_after_passes} rules after passes > "
+                f"{stats.rules} emitted)"
+            )
     grid2 = records.get("graph-neighbor-w2-grid")
     if grid2 is not None and grid2["rules"] > MAX_GRID2_RULES:
         failures.append(
             f"graph-neighbor-w2-grid: {grid2['rules']} rules exceeds "
             f"the {MAX_GRID2_RULES}-rule evaluability bound"
+        )
+    if (
+        grid2 is not None
+        and grid2["rules_after_passes"] > MAX_GRID2_RULES_AFTER_PASSES
+    ):
+        failures.append(
+            f"graph-neighbor-w2-grid: {grid2['rules_after_passes']} "
+            f"rules after the shrinking passes exceeds the "
+            f"{MAX_GRID2_RULES_AFTER_PASSES}-rule bound (ROADMAP D)"
         )
     return records, failures
 
@@ -279,7 +315,9 @@ def format_table(records):
         "k",
         "types",
         "classes",
+        "folded",
         "rules",
+        "after passes",
         "max wit",
         "ms",
     ]
@@ -290,7 +328,9 @@ def format_table(records):
             r["k"],
             r["types"],
             r["classes"],
+            r["classes_folded"],
             r["rules"],
+            r["rules_after_passes"],
             r["max_reduced_witness"],
             r["ms"],
         ]
@@ -356,8 +396,10 @@ def main(argv=None) -> int:
     print(
         "\nok: the width-2 grid-class compile clears the default witness "
         "bound; reduced witnesses stay within the bound everywhere; "
-        "minimization only shrinks; the unfiltered type space still "
-        "explodes; the baseline schema matches the harness"
+        "minimization and the shrinking passes only shrink (grid-2 under "
+        f"{MAX_GRID2_RULES_AFTER_PASSES} rules after passes); the "
+        "unfiltered type space still explodes; the baseline schema "
+        "matches the harness"
     )
     return 0
 

@@ -13,7 +13,13 @@ from .mso_to_datalog import (
 )
 from .quasi_guarded import QuasiGuardedEvaluator, QuasiGuardedResult
 from .solver import CourcelleSolver, default_worker_count
-from .typealg import TypeAlgebra, TypeEntry, TypeTable, reduce_witness
+from .typealg import (
+    TypeAlgebra,
+    TypeEntry,
+    TypeTable,
+    fold_partition,
+    reduce_witness,
+)
 
 __all__ = [
     "ANSWER_PREDICATE",
@@ -29,6 +35,7 @@ __all__ = [
     "TypeTable",
     "compile_sentence",
     "default_worker_count",
+    "fold_partition",
     "grid_graph_filter",
     "reduce_witness",
     "undirected_graph_filter",

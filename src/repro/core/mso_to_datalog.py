@@ -79,11 +79,22 @@ from typing import Iterable, Iterator, Sequence
 
 from ..datalog.ast import Atom, Literal, Program, Rule, Variable, pos
 from ..datalog.guards import td_key_dependencies
+from ..datalog.passes import (
+    DEFAULT_PASSES,
+    eliminate_recursion,
+    normalize_passes,
+)
 from ..mso.eval import evaluate
 from ..mso.syntax import Formula
 from ..structures.signature import Signature
 from ..structures.structure import Element, Fact, Structure
-from .typealg import CompilerLimitError, TypeAlgebra, TypeEntry, TypeTable
+from .typealg import (
+    CompilerLimitError,
+    TypeAlgebra,
+    TypeEntry,
+    TypeTable,
+    fold_partition,
+)
 
 ANSWER_PREDICATE = "phi"
 
@@ -95,6 +106,7 @@ DEFAULT_MAX_WITNESS_SIZE = 16
 __all__ = [
     "ANSWER_PREDICATE",
     "DEFAULT_MAX_WITNESS_SIZE",
+    "DEFAULT_PASSES",
     "CompiledQuery",
     "CompilerLimitError",
     "CompilerStats",
@@ -129,6 +141,16 @@ class CompilerStats:
     reductions: int
     elements_deleted: int
     glue_pairs: int
+    #: minimized classes merged away by the ⊥-insensitive fold pass
+    #: (0 when the pass is off)
+    classes_folded: int = 0
+    #: rule count of the final program after the pass pipeline
+    #: (== ``rules`` when ``passes=()``)
+    rules_after_passes: int = 0
+    #: predicates the boundedness detector marked bounded (always 0 for
+    #: the generic construction -- the identity permutation makes every
+    #: Θ↑/Θ↓ class recursive; see :mod:`repro.datalog.passes`)
+    bounded_predicates: int = 0
 
 
 @dataclass
@@ -143,6 +165,12 @@ class CompiledQuery:
     up_type_count: int
     down_type_count: int
     stats: CompilerStats | None = None
+    #: the shrinking passes this program was compiled with -- part of
+    #: every cache identity derived from the query (differently
+    #: optimized variants are different programs with different
+    #: fingerprints, and the solver keys its grounding preparation on
+    #: the pass-dependent single-pass flag as well)
+    passes: tuple[str, ...] = ()
 
     @property
     def is_sentence(self) -> bool:
@@ -230,6 +258,7 @@ class MSOToDatalogCompiler:
         max_types: int = 20000,
         structure_filter=None,
         minimize: bool = True,
+        passes: Sequence[str] | None = None,
     ):
         if width < 1:
             raise ValueError("Theorem 4.5 assumes treewidth w >= 1")
@@ -245,6 +274,9 @@ class MSOToDatalogCompiler:
         self.max_witness_size = max_witness_size
         self.max_types = max_types
         self.minimize = minimize
+        #: the program-shrinking pipeline (``None`` -> the production
+        #: default, both passes; ``()`` is the retained ablation)
+        self.passes = normalize_passes(passes)
         #: Optional predicate restricting compilation to a *class* of
         #: structures (e.g. symmetric loop-free graphs).  Sound whenever
         #: the class is closed under induced substructures, which makes
@@ -531,6 +563,69 @@ class MSOToDatalogCompiler:
         )
 
     # ------------------------------------------------------------------
+    # ⊥-insensitive folding (the "fold" pass)
+    # ------------------------------------------------------------------
+
+    def _fold_classes(
+        self, cls: list[int], accept: dict[int, bool]
+    ) -> list[int]:
+        """Merge classes whose differences are confined to ⊥ entries.
+
+        Minimization keeps two classes apart when one has a step
+        defined (a permutation/replacement result, a realized glue
+        partner) where the other has none -- even if they agree
+        everywhere both are defined.  Under a witness-faithful
+        ``structure_filter`` (a filter-rejected step never occurs in
+        any in-class input's decomposition -- the same assumption the
+        emitted program's completeness already rests on, since rejected
+        steps simply emit no rules), those ⊥ distinctions are
+        unobservable, and the bag EDB itself need not be observed
+        either: base and replacement rules carry their full signed EDB
+        literals, so the rule that fires at a node is always the one
+        for the realized bag data.  The remaining observables are the
+        sentence acceptance bit and the selection answers, which seed
+        and drive :func:`~repro.core.typealg.fold_partition` over the
+        *class-level* step maps (single-valued by the congruence
+        property of ``cls``)."""
+        n_cls = max(cls) + 1 if cls else 0
+
+        def put(table: dict, key, value) -> None:
+            prev = table.setdefault(key, value)
+            if prev != value:
+                raise AssertionError(
+                    "class-level step map not single-valued -- "
+                    "minimization congruence violated"
+                )
+
+        perm_maps: dict = {p: {} for p in self._perms}
+        for (i, p), j in self._perm.items():
+            put(perm_maps[p], cls[i], cls[j])
+        repl_maps: dict = {c: {} for c in self._chosen_list}
+        for (i, c), j in self._repl.items():
+            put(repl_maps[c], cls[i], cls[j])
+        glue: dict[tuple[int, int], int] = {}
+        sel: dict[tuple[int, int], tuple[int, ...]] = {}
+        for (i, j), g in self._glue_map.items():
+            a, b = cls[i], cls[j]
+            put(glue, (a, b) if a <= b else (b, a), cls[g])
+        for (i, j), answers in self._sel.items():
+            a, b = cls[i], cls[j]
+            put(sel, (a, b) if a <= b else (b, a), answers)
+
+        observations: list = [None] * n_cls
+        for i, accepted in accept.items():
+            observations[cls[i]] = accepted
+
+        fold = fold_partition(
+            n_cls,
+            observations,
+            maps=tuple(perm_maps.values()) + tuple(repl_maps.values()),
+            pair_maps=(glue,),
+            pair_observations=(sel,),
+        )
+        return [fold[c] for c in cls]
+
+    # ------------------------------------------------------------------
     # rule emission
     # ------------------------------------------------------------------
 
@@ -728,22 +823,45 @@ class MSOToDatalogCompiler:
             cls = self._minimize_classes(accept)
         else:
             cls = list(range(len(self._table)))
-        program = self._emit(cls, accept)
         n_classes = len(set(cls))
+
+        assign = cls
+        classes_folded = 0
+        if "fold" in self.passes:
+            assign = self._fold_classes(cls, accept)
+            classes_folded = n_classes - len(set(assign))
+        program = self._emit(assign, accept)
+        if classes_folded:
+            # the pre-pass rule count backs the fold-only-shrinks gate
+            rules_emitted = len(self._emit(cls, accept))
+        else:
+            rules_emitted = len(program)
+
+        bounded_count = 0
+        if "unfold" in self.passes:
+            program, unfold_report = eliminate_recursion(
+                program, keep=frozenset((ANSWER_PREDICATE,))
+            )
+            bounded_count = len(unfold_report.bounded)
+
+        n_emitted = len(set(assign))
         astats = self.algebra.stats
         is_sentence = self.free_var is None
         stats = CompilerStats(
             up_types=len(self._table),
             down_types=0 if is_sentence else len(self._table),
-            up_classes=n_classes,
-            down_classes=0 if is_sentence else n_classes,
-            rules=len(program),
+            up_classes=n_emitted,
+            down_classes=0 if is_sentence else n_emitted,
+            rules=rules_emitted,
             type_computations=astats.type_computations,
             max_witness_typed=astats.max_witness_typed,
             max_reduced_witness=astats.max_reduced_witness,
             reductions=astats.reductions,
             elements_deleted=astats.elements_deleted,
             glue_pairs=len(self._glue_map),
+            classes_folded=classes_folded,
+            rules_after_passes=len(program),
+            bounded_predicates=bounded_count,
         )
         return CompiledQuery(
             program=program,
@@ -754,6 +872,7 @@ class MSOToDatalogCompiler:
             up_type_count=len(self._table),
             down_type_count=0 if is_sentence else len(self._table),
             stats=stats,
+            passes=self.passes,
         )
 
 
@@ -819,6 +938,7 @@ def compile_unary_query(
     max_types: int = 20000,
     structure_filter=None,
     minimize: bool = True,
+    passes: Sequence[str] | None = None,
 ) -> CompiledQuery:
     """Theorem 4.5 for a unary query φ(x)."""
     return MSOToDatalogCompiler(
@@ -831,6 +951,7 @@ def compile_unary_query(
         max_types=max_types,
         structure_filter=structure_filter,
         minimize=minimize,
+        passes=passes,
     ).compile()
 
 
@@ -843,6 +964,7 @@ def compile_sentence(
     max_types: int = 20000,
     structure_filter=None,
     minimize: bool = True,
+    passes: Sequence[str] | None = None,
 ) -> CompiledQuery:
     """Theorem 4.5's decision variant for a sentence φ."""
     return MSOToDatalogCompiler(
@@ -855,4 +977,5 @@ def compile_sentence(
         max_types=max_types,
         structure_filter=structure_filter,
         minimize=minimize,
+        passes=passes,
     ).compile()

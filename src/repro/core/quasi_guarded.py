@@ -186,6 +186,7 @@ class QuasiGuardedEvaluator:
         relevant=_UNRESOLVED,
         profile=None,
         replan=None,
+        single_pass: bool = True,
     ):
         self.program = program
         if dependencies is None:
@@ -228,7 +229,9 @@ class QuasiGuardedEvaluator:
         else:
             cache = cache if cache is not None else default_cache()
             # body ordering is per-program work; do once, share via cache
-            self._prepared = cache.grounding(program, registry, profile=replan)
+            self._prepared = cache.grounding(
+                program, registry, profile=replan, single_pass=single_pass
+            )
         if relevant is not _UNRESOLVED:
             self._relevant = relevant
         else:

@@ -85,6 +85,7 @@ class CourcelleSolver:
         backend: str = "quasi-guarded",
         cache: ProgramCache | None = None,
         minimize: bool = True,
+        passes=None,
         profile=None,
         replan=None,
         admission: str | None = None,
@@ -125,6 +126,7 @@ class CourcelleSolver:
                 max_witness_size=max_witness_size,
                 structure_filter=structure_filter,
                 minimize=minimize,
+                passes=passes,
             )
         else:
             self.compiled = compile_unary_query(
@@ -135,8 +137,21 @@ class CourcelleSolver:
                 max_witness_size=max_witness_size,
                 structure_filter=structure_filter,
                 minimize=minimize,
+                passes=passes,
             )
+        #: the shrinking-pass configuration actually applied (``passes=None``
+        #: resolved to the production default by the compiler); ``"unfold"``
+        #: additionally routes evaluation through the single-pass
+        #: (fire-once / deferred-sink) engine fast paths
+        self.passes = self.compiled.passes
         self._wire_backend()
+
+    @property
+    def _single_pass(self) -> bool:
+        """Whether evaluation takes the single-pass route (tied to the
+        ``"unfold"`` pass so ``passes=()`` ablates the engine fast paths
+        together with the program shrinking)."""
+        return "unfold" in self.passes
 
     def _wire_backend(self, prepared=None, relevant=_UNRESOLVED) -> None:
         """Build the per-backend evaluation machinery.
@@ -167,6 +182,7 @@ class CourcelleSolver:
                 relevant=relevant,
                 profile=self.plan_profile,
                 replan=self._replan,
+                single_pass=self._single_pass,
             )
         else:
             self._backend = get_backend(backend, self.cache)
@@ -204,6 +220,7 @@ class CourcelleSolver:
     def __setstate__(self, state):
         self._formula = state["formula"]
         self.compiled = state["compiled"]
+        self.passes = getattr(self.compiled, "passes", ())
         self.backend_name = state["backend"]
         self.admission = state.get("admission")
         self.admission_budget = state.get("admission_budget")
@@ -523,6 +540,7 @@ class CourcelleSolver:
         clone = object.__new__(CourcelleSolver)
         clone._formula = self._formula
         clone.compiled = self.compiled
+        clone.passes = self.passes
         clone.backend_name = backend
         clone.cache = self.cache
         clone.admission = self.admission
@@ -546,6 +564,7 @@ class CourcelleSolver:
                     self.compiled.program,
                     self.evaluator.registry if self.evaluator else None,
                     profile=clone._replan,
+                    single_pass=clone._single_pass,
                 )
                 if backend in _QG_MODES
                 else None,
@@ -579,6 +598,7 @@ class CourcelleSolver:
         clone = object.__new__(CourcelleSolver)
         clone._formula = self._formula
         clone.compiled = self.compiled
+        clone.passes = self.passes
         clone.backend_name = self.backend_name
         clone.cache = self.cache
         clone.admission = self.admission
@@ -590,6 +610,7 @@ class CourcelleSolver:
                 self.compiled.program,
                 self.evaluator.registry if self.evaluator else None,
                 profile=profile,
+                single_pass=self._single_pass,
             ),
             relevant=(
                 self.evaluator._relevant

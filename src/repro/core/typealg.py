@@ -39,7 +39,7 @@ to an out-of-class witness).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Sequence
 
 from ..mso.types import MSOType, TypeContext
 from ..structures.structure import Element, Structure
@@ -299,3 +299,155 @@ def reduce_witness(
         k, max_witness_size=len(structure.domain), structure_filter=structure_filter
     )
     return algebra.reduce(structure, bag, algebra.type_of(structure, bag))
+
+
+def fold_partition(
+    n: int,
+    observations: Sequence,
+    maps: Sequence[dict[int, int]] = (),
+    pair_maps: Sequence[dict[tuple[int, int], int]] = (),
+    pair_observations: Sequence[dict[tuple[int, int], object]] = (),
+) -> list[int]:
+    """The coarsest ⊥-insensitive wildcard congruence over ``0..n-1``.
+
+    Myhill-Nerode minimization (:meth:`MSOToDatalogCompiler`'s
+    ``_minimize_classes``) treats an *undefined* step entry -- a
+    filter-rejected permutation/replacement result, a glue pair that no
+    reachable witness realizes -- as an observable outcome of its own:
+    two classes whose behaviours agree everywhere both are defined but
+    differ in *where* they are defined stay split.  For programs
+    compiled relative to a witness-faithful ``structure_filter`` those
+    ⊥ entries can never fire on an in-class input, so the distinction
+    is unobservable; this function folds it away.
+
+    Partition refinement with wildcards, splits only:
+
+    * start from the coarsest partition agreeing on ``observations``
+      (one block per distinct value);
+    * for each (possibly partial) unary map in ``maps``, members of a
+      block whose *defined* images land in different blocks split
+      apart; members with no image (⊥) are wildcards and stay with the
+      largest defined bucket;
+    * for each symmetric pair map (``pair_maps`` compare result items
+      via their current block, ``pair_observations`` compare opaque
+      values directly), a member that sees two different outcomes
+      across one partner block forces that partner block apart
+      (pivot split), and members of one block that disagree on their
+      outcome against a common partner block split apart -- ⊥ entries
+      are wildcards in both cases.
+
+    Every applied split strictly refines the partition, so the loop
+    terminates after at most ``n`` splits; on exit every defined entry
+    of every map is single-valued at the block level.  Because the
+    procedure only splits, feeding it the blocks of a *minimized* type
+    table can never produce a partition finer than the input items --
+    folding only merges.
+
+    Returns the dense block assignment (ids by first occurrence).
+    """
+    ids: dict = {}
+    group = []
+    for obs in observations:
+        found = ids.get(obs)
+        if found is None:
+            found = ids[obs] = len(ids)
+        group.append(found)
+    counter = len(ids)
+
+    # member-level symmetric adjacency per pair structure; outcomes are
+    # items (compared through their current group) or opaque values
+    adjacencies: list[tuple[list[list[tuple[int, object]]], bool]] = []
+    for tables, is_item in ((pair_maps, True), (pair_observations, False)):
+        for table in tables:
+            adj: list[list[tuple[int, object]]] = [[] for _ in range(n)]
+            for (i, j), out in table.items():
+                adj[i].append((j, out))
+                if i != j:
+                    adj[j].append((i, out))
+            adjacencies.append((adj, is_item))
+
+    def members_of() -> dict[int, list[int]]:
+        blocks: dict[int, list[int]] = {}
+        for i in range(n):
+            blocks.setdefault(group[i], []).append(i)
+        return blocks
+
+    def apply_split(members: list[int], key_of) -> bool:
+        """Bucket ``members`` by key (``None`` = wildcard).  With >= 2
+        defined buckets, split: the largest defined bucket (first
+        occurrence breaks ties) keeps the old group id along with the
+        wildcards; every other bucket gets a fresh id."""
+        nonlocal counter
+        buckets: dict = {}
+        for i in members:
+            key = key_of(i)
+            if key is not None:
+                buckets.setdefault(key, []).append(i)
+        if len(buckets) < 2:
+            return False
+        keep = max(buckets.values(), key=len)
+        for bucket in buckets.values():
+            if bucket is keep:
+                continue
+            fresh = counter
+            counter += 1
+            for i in bucket:
+                group[i] = fresh
+        return True
+
+    def find_and_split() -> bool:
+        blocks = members_of()
+        multi = [b for b in blocks.values() if len(b) > 1]
+        for table in maps:
+            get = table.get
+            for block in multi:
+                def unary_key(i):
+                    j = get(i)
+                    return None if j is None else group[j]
+
+                if apply_split(block, unary_key):
+                    return True
+        for adj, is_item in adjacencies:
+            # pivot splits: one member, one partner block, two outcomes
+            for i in range(n):
+                per_partner: dict[int, dict[int, object]] = {}
+                for j, out in adj[i]:
+                    key = group[out] if is_item else out
+                    per_partner.setdefault(group[j], {})[j] = key
+                for partner, outcomes in per_partner.items():
+                    if len(set(outcomes.values())) > 1:
+                        if apply_split(
+                            blocks[partner], outcomes.get
+                        ):
+                            return True
+            # cross-member splits: members of one block disagree on a
+            # partner block (each member's outcome is unambiguous here,
+            # or the pivot scan above would have fired)
+            for block in multi:
+                rows: dict[int, dict[int, object]] = {}
+                partners: set[int] = set()
+                for i in block:
+                    row: dict[int, object] = {}
+                    for j, out in adj[i]:
+                        row[group[j]] = group[out] if is_item else out
+                    rows[i] = row
+                    partners.update(row)
+                for partner in partners:
+                    def pair_key(i, partner=partner):
+                        return rows[i].get(partner)
+
+                    if apply_split(block, pair_key):
+                        return True
+        return False
+
+    while find_and_split():
+        pass
+
+    dense: dict[int, int] = {}
+    out = []
+    for g in group:
+        found = dense.get(g)
+        if found is None:
+            found = dense[g] = len(dense)
+        out.append(found)
+    return out

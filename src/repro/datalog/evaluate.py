@@ -29,6 +29,7 @@ from typing import Iterable, Iterator, Mapping, Sequence
 from ..structures.structure import Fact, Structure
 from .ast import Atom, Constant, Literal, Program, Rule, Variable
 from .builtins import UNBOUND, BuiltinRegistry, standard_registry
+from .passes import strongly_connected_components
 from .profile import CostModel, IndexSelection, min_index_selection
 
 
@@ -208,6 +209,45 @@ def stratify(program: Program) -> list[frozenset[str]]:
         frozenset(p for p in idb if stratum[p] == level)
         for level in range(levels)
     ]
+
+
+def refine_strata(
+    program: Program, strata: Sequence[frozenset[str]]
+) -> tuple[frozenset[str], ...]:
+    """Split each negation stratum into its positive-dependency SCCs.
+
+    :func:`stratify` partitions by negation level only, so a level's
+    predicates all share one fixpoint loop even when most of them never
+    feed back into each other -- the compiled Theorem 4.5 programs land
+    *everything*, including the nonrecursive ``phi`` selection rules,
+    in a single stratum, and every delta round re-fires them all.
+    Condensing each level by its positive intra-level edges and
+    ordering the components topologically (dependencies first) is
+    semantics-preserving -- every intra-level edge is positive, so the
+    refined order is still a valid stratification and
+    ``_check_negation_stratified`` keeps holding -- and it isolates
+    the genuinely recursive cores: a singleton component without a
+    self-loop has no recursive positions at all and takes the
+    fire-once fast path of the evaluators.
+    """
+    idb = program.intensional_predicates()
+    pos_deps: dict[str, set[str]] = {p: set() for p in idb}
+    for rule in program.rules:
+        head = pos_deps[rule.head.predicate]
+        for literal in rule.body:
+            name = literal.atom.predicate
+            if literal.positive and name in idb:
+                head.add(name)
+    refined: list[frozenset[str]] = []
+    for level in strata:
+        members = sorted(level)
+        # Tarjan emits components in reverse topological order of the
+        # condensation -- dependencies first, which is evaluation order
+        for component in strongly_connected_components(
+            members, lambda p: sorted(pos_deps[p] & level)
+        ):
+            refined.append(frozenset(component))
+    return tuple(refined)
 
 
 # ----------------------------------------------------------------------
@@ -455,7 +495,7 @@ def prepare_program(
         raise ValueError(
             f"predicates defined both by rules and built-ins: {sorted(overlap)}"
         )
-    strata = tuple(stratify(program))
+    strata = refine_strata(program, stratify(program))
     _check_negation_stratified(program, idb, strata)
     stratum_of: dict[str, frozenset[str]] = {}
     for stratum in strata:
@@ -629,9 +669,21 @@ class SemiNaiveEvaluator:
             db = Database.from_facts(edb)
 
         for stratum_plan in self.prepared.stratum_plans:
+            if not any(stratum_plan.recursive_positions):
+                # single-pass route: no rule of this stratum consumes
+                # the stratum's own output (an SCC-refined nonrecursive
+                # stratum), so one firing is the fixpoint -- skip the
+                # delta bookkeeping entirely
+                derived = []
+                for rule_index in stratum_plan.rule_indices:
+                    self._fire(rule_index, db, derived)
+                for fact in derived:
+                    if db.add(fact.predicate, fact.args):
+                        self.stats.facts_derived += 1
+                continue
             # round 0: every rule once against the current database
             delta = Database()
-            derived: list[Fact] = []
+            derived = []
             for rule_index in stratum_plan.rule_indices:
                 self._fire(rule_index, db, derived)
             for fact in derived:

@@ -116,12 +116,17 @@ class PreparedGrounding:
     #: on the SetDatabase by the interned/streamed forms so nested
     #: probe patterns share one lexicographic index
     index_selection: IndexSelection | None = None
+    #: sink predicates (heads occurring in no rule body) whose driven
+    #: rules the streamed grounder defers to a single post-fixpoint
+    #: pass -- empty when prepared with ``single_pass=False``
+    deferred: frozenset[str] = frozenset()
 
 
 def prepare_grounding(
     program: Program,
     registry: BuiltinRegistry | None = None,
     cost: CostModel | None = None,
+    single_pass: bool = True,
 ) -> PreparedGrounding:
     """Order every rule's extensional body ahead of time.
 
@@ -129,6 +134,18 @@ def prepare_grounding(
     recorded :class:`~repro.datalog.profile.PlanProfile`) breaks
     equal-bound-slot ties by estimated output cardinality; without it
     the ordering is the static greedy one (textual tie-break).
+
+    ``single_pass`` marks the program's *sink* predicates -- heads
+    that occur in no rule body, like the compiled queries' answer
+    predicate ``phi`` -- for the streamed grounder's deferred route:
+    their rules fire exactly once after the recursive fixpoint settles
+    instead of once per delta round, and their unresolved intensional
+    body atoms are checked against the final model instead of being
+    parked in the online LTUR's waiting frontier.  Pass ``False`` for
+    the every-round ablation (the pre-optimization behaviour);
+    :class:`~repro.datalog.backends.ProgramCache` keys its grounding
+    entries on this flag so both preparations of one program can live
+    side by side.
     """
     registry = registry if registry is not None else standard_registry()
     idb = program.intensional_predicates()
@@ -142,7 +159,17 @@ def prepare_grounding(
     selection = min_index_selection(
         _grounding_signatures(plans, stream_plans, registry)
     )
-    return PreparedGrounding(program, registry, plans, stream_plans, selection)
+    deferred: frozenset[str] = frozenset()
+    if single_pass:
+        in_bodies = {
+            literal.atom.predicate
+            for rule in program.rules
+            for literal in rule.body
+        }
+        deferred = frozenset(idb - in_bodies)
+    return PreparedGrounding(
+        program, registry, plans, stream_plans, selection, deferred
+    )
 
 
 def _grounding_signatures(
@@ -1080,6 +1107,7 @@ class _CompiledStreamRule:
         "head",
         "others",
         "invoked",
+        "finalize",
         "profile",
     )
 
@@ -1111,6 +1139,11 @@ class _CompiledStreamRule:
         self.head = head  # (predicate, argsrc, interned const ids)
         self.others = others
         self.invoked = False
+        #: set by the deferred-sink epilogue of
+        #: :func:`ground_program_streamed`: the fixpoint is complete, so
+        #: ``_emit`` resolves the remaining intensional body atoms
+        #: against the final model instead of parking the rule
+        self.finalize = False
         self.profile = profile
 
     def fire(self, args: tuple[int, ...]) -> None:
@@ -1300,6 +1333,39 @@ class _CompiledStreamRule:
         head_pred, head_src, head_consts = self.head
         others = self.others
         self.stats.ground_rules += len(rows)
+        if others and self.finalize:
+            # deferred-sink mode: the fixpoint below this rule's head
+            # is already complete, so the remaining intensional body
+            # atoms have their final truth -- check them against the
+            # model (lookup_atom: an atom never interned was never
+            # derived) and emit satisfied instances as facts; nothing
+            # is ever parked in the waiting frontier
+            lookup = self.pool.lookup_atom
+            is_derived = self.sink.is_derived
+            for r in rows:
+                satisfied = True
+                for pred, src, consts in others:
+                    other = lookup(
+                        pred,
+                        tuple(
+                            r[x] if x >= 0 else consts[-x - 1]
+                            for x in src
+                        ),
+                    )
+                    if other is None or not is_derived(other):
+                        satisfied = False
+                        break
+                if not satisfied:
+                    continue
+                head = atom_id(
+                    head_pred,
+                    tuple(
+                        r[x] if x >= 0 else head_consts[-x - 1]
+                        for x in head_src
+                    ),
+                )
+                add_rule(head, ())
+            return
         for r in rows:
             head = atom_id(
                 head_pred,
@@ -1585,6 +1651,8 @@ def ground_program_streamed(
 
     base_rules: list[_CompiledStreamRule] = []
     driven: dict[str, list[_CompiledStreamRule]] = {}
+    deferred_by_driver: dict[str, list[_CompiledStreamRule]] = {}
+    defer_heads = prepared.deferred
     for rule, plan in zip(prepared.program.rules, prepared.stream_plans):
         if relevant is not None and rule.head.predicate not in relevant:
             stats.rules_pruned += 1
@@ -1597,6 +1665,12 @@ def ground_program_streamed(
             continue
         if plan.driver is None:
             base_rules.append(compiled)
+        elif rule.head.predicate in defer_heads:
+            # sink-headed rules feed nothing downstream: accumulate
+            # their driver atoms and fire once after the fixpoint
+            deferred_by_driver.setdefault(
+                plan.driver.atom.predicate, []
+            ).append(compiled)
         else:
             driven.setdefault(plan.driver.atom.predicate, []).append(
                 compiled
@@ -1607,6 +1681,8 @@ def ground_program_streamed(
     atom_of = pool.atom_of
     take_fresh = sink.take_fresh
     get_driven = driven.get
+    get_deferred = deferred_by_driver.get
+    deferred_batches: dict[str, list[tuple[int, ...]]] = {}
     rounds = 0
     while True:
         if meter is not None:
@@ -1625,13 +1701,26 @@ def ground_program_streamed(
             predicate, args = atom_of(fresh_id)
             if get_driven(predicate) is not None:
                 batches.setdefault(predicate, []).append(args)
+            if get_deferred(predicate) is not None:
+                deferred_batches.setdefault(predicate, []).append(args)
         for predicate, batch in batches.items():
             for compiled in driven[predicate]:
                 compiled.fire_batch(batch)
-    for rules in driven.values():
-        for compiled in rules:
-            if not compiled.invoked:
-                stats.rules_pruned += 1
+    # the single-pass epilogue: every deferred rule fires exactly once,
+    # against all the driver atoms the whole fixpoint derived; the
+    # model below the sinks is final, so finalize-mode emission checks
+    # the remaining body atoms instead of parking ground rules
+    if meter is not None and deferred_batches:
+        meter.check(stats.ground_rules)
+    for predicate, batch in deferred_batches.items():
+        for compiled in deferred_by_driver[predicate]:
+            compiled.finalize = True
+            compiled.fire_batch(batch)
+    for rules in (driven, deferred_by_driver):
+        for group in rules.values():
+            for compiled in group:
+                if not compiled.invoked:
+                    stats.rules_pruned += 1
     stats.peak_live_rules = max(
         stats.peak_live_rules, sink.peak_live_rules
     )

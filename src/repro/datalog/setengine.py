@@ -724,9 +724,22 @@ class SetSemiNaiveEvaluator:
         ):
             db.use_index_selection(self.prepared.index_selection)
         for stratum_plan in self.prepared.stratum_plans:
+            if not any(stratum_plan.recursive_positions):
+                # single-pass route: an SCC-refined nonrecursive
+                # stratum never consumes its own output, so one firing
+                # is its fixpoint -- no delta database, no re-fire
+                derived: list[tuple[str, tuple[int, ...]]] = []
+                for rule_index in stratum_plan.rule_indices:
+                    self._fire(rule_index, db, derived, None, None)
+                stats = self.stats
+                add = db.add
+                for predicate, args in derived:
+                    if add(predicate, args):
+                        stats.facts_derived += 1
+                continue
             # round 0: every rule once against the current database
             delta = db.spawn_delta()
-            derived: list[tuple[str, tuple[int, ...]]] = []
+            derived = []
             for rule_index in stratum_plan.rule_indices:
                 self._fire(rule_index, db, derived, None, None)
             self._flush(db, delta, derived)

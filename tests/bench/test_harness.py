@@ -74,7 +74,7 @@ class TestEngineBaseline:
 
     def test_schema_version(self, payload):
         bench = _bench_module()
-        assert payload["schema"] == "bench-engine/v7"
+        assert payload["schema"] == "bench-engine/v8"
         assert payload["schema"] == bench.SCHEMA_VERSION
         assert payload["benchmark"] == "benchmarks/bench_datalog_engine.py"
 
@@ -93,9 +93,13 @@ class TestEngineBaseline:
         for name, backends in solver.items():
             if name.startswith("solve-grid2x-"):
                 # the width-2 Theorem 4.5 workload runs the streamed
-                # production form only (the eager/raw forms ground the
-                # full 1.4M-rule cross product)
-                assert set(backends) == {"quasi-guarded"}
+                # production form plus the passes=() ablation (the
+                # eager/raw forms ground the full 1.4M-rule cross
+                # product)
+                assert set(backends) == {
+                    "quasi-guarded",
+                    "quasi-guarded-nopasses",
+                }
             else:
                 assert set(backends) == {
                     "quasi-guarded",
@@ -219,7 +223,7 @@ class TestBaselineDrift:
     checked-in BENCH_engine.json."""
 
     @staticmethod
-    def _payload(schema="bench-engine/v7", quick=True):
+    def _payload(schema="bench-engine/v8", quick=True):
         return {
             "schema": schema,
             "quick": quick,
@@ -420,7 +424,7 @@ class TestServiceThroughput:
         assert record["service_ms"] > 0
         assert record["latency_ms"]["p50"] > 0
         assert record["latency_ms"]["p95"] >= record["latency_ms"]["p50"]
-        assert set(record["traffic"]) == {"chain", "tree", "ladder"}
+        assert set(record["traffic"]) >= {"chain", "tree", "ladder"}
         warm = record["warm_vs_cold"]
         assert warm["warm_service_ms"] > 0
         assert warm["cold_pool_ms"] > 0
@@ -469,6 +473,31 @@ class TestServiceThroughput:
             )
             == []
         )
+
+    def test_skipped_gate_records_an_explicit_reason(self):
+        # a skipped gate must say why -- never look like a silently
+        # waived contract
+        bench = _service_bench_module()
+        assert bench.gate_skipped_reason(4, 4) is None
+        low_cores = bench.gate_skipped_reason(2, 4)
+        assert "2 effective cores" in low_cores
+        few_workers = bench.gate_skipped_reason(8, 2)
+        assert "2 workers" in few_workers
+
+    def test_checked_in_gate_reason_consistent(self, record):
+        gate = record["gate"]
+        assert "skipped_reason" in gate
+        assert (gate["skipped_reason"] is None) == gate["applied"]
+
+    def test_traffic_capped_on_low_core_machines(self):
+        # below the gate's core count the run is trend data only, so
+        # the default request volume is halved
+        bench = _service_bench_module()
+        full, full_shape = bench.build_traffic(True, cpus=8)
+        capped, capped_shape = bench.build_traffic(True, cpus=2)
+        assert not full_shape["capped_for_low_cores"]
+        assert capped_shape["capped_for_low_cores"]
+        assert len(capped) < len(full)
 
 
 def _resilience_record(

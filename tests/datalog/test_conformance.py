@@ -583,6 +583,7 @@ class TestCompiledWidth2Conformance:
             free_var="x",
             structure_filter=undirected_graph_filter,
             minimize=False,
+            passes=(),  # the raw one-predicate-per-type ablation
         )
         assert len(minimized.compiled.program) < len(
             unminimized.compiled.program
@@ -595,3 +596,43 @@ class TestCompiledWidth2Conformance:
             assert minimized.query(structure) == unminimized.query(
                 structure
             )
+
+    def test_shrinking_passes_match_unoptimized(self):
+        """The program-shrinking passes are conformance-pinned: folded,
+        unfolded, pass-free and unminimized solvers over the same query
+        must answer identically on random in-class structures."""
+        import random
+
+        from repro.core import (
+            CourcelleSolver,
+            undirected_graph_filter,
+        )
+        from repro.mso import formulas, query as mso_query
+        from repro.problems import random_tree_graph
+        from repro.structures import GRAPH_SIGNATURE, graph_to_structure
+
+        def solver(**kw):
+            return CourcelleSolver(
+                formulas.has_neighbor("x"),
+                GRAPH_SIGNATURE,
+                width=1,
+                free_var="x",
+                structure_filter=undirected_graph_filter,
+                **kw,
+            )
+
+        variants = [
+            solver(),  # production default: fold + unfold
+            solver(passes=()),  # passes ablated
+            solver(passes=("fold",)),
+            solver(passes=("unfold",)),
+            solver(minimize=False, passes=()),  # fully unoptimized
+        ]
+        rng = random.Random(0xF01D)
+        for _ in range(6):
+            structure = graph_to_structure(
+                random_tree_graph(rng, rng.randint(2, 14))
+            )
+            want = mso_query(structure, formulas.has_neighbor("x"), "x")
+            for v in variants:
+                assert v.query(structure) == want, v.passes

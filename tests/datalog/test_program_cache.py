@@ -199,6 +199,81 @@ class TestGroundingCache:
         QuasiGuardedEvaluator(program, dependencies=deps, cache=cache)
         assert cache.stats.hits == 1
 
+    def test_single_pass_variants_never_alias(self):
+        """The single-pass flag is part of the grounding cache key: the
+        same program prepared with and without the deferred-sink route
+        must get *distinct* entries (a collision would hand the
+        multi-pass evaluator plans whose sink rules fire only once, or
+        vice versa), and both variants stay warm side by side."""
+        from repro.core import QuasiGuardedEvaluator
+        from repro.datalog import td_key_dependencies
+
+        program = parse_program(
+            """
+            solve(V) :- leaf(V).
+            solve(V) :- child1(V, W), solve(W).
+            top(V) :- leaf(V), solve(V).
+            """
+        )
+        deps = td_key_dependencies(1)
+        cache = ProgramCache()
+        fast = QuasiGuardedEvaluator(
+            program, dependencies=deps, cache=cache, single_pass=True
+        )
+        slow = QuasiGuardedEvaluator(
+            program, dependencies=deps, cache=cache, single_pass=False
+        )
+        assert cache.stats.misses == 2
+        assert fast._prepared is not slow._prepared
+        assert fast._prepared.deferred == frozenset({"top"})
+        assert slow._prepared.deferred == frozenset()
+        # a repeat of each variant hits its own entry, not the other's
+        again_fast = QuasiGuardedEvaluator(
+            program, dependencies=deps, cache=cache, single_pass=True
+        )
+        again_slow = QuasiGuardedEvaluator(
+            program, dependencies=deps, cache=cache, single_pass=False
+        )
+        assert cache.stats.hits == 2
+        assert again_fast._prepared is fast._prepared
+        assert again_slow._prepared is slow._prepared
+
+    def test_differently_optimized_solvers_share_one_cache(self):
+        """Fold/unfold solver variants cached side by side answer
+        identically: their programs have different fingerprints, and
+        clones via with_backend/replanned keep the variant's own
+        single-pass grounding (the satellite regression for pass-config
+        fingerprinting)."""
+        from repro.core import CourcelleSolver, undirected_graph_filter
+        from repro.mso import formulas
+        from repro.structures import GRAPH_SIGNATURE, Graph, graph_to_structure
+
+        cache = ProgramCache()
+
+        def build(passes):
+            return CourcelleSolver(
+                formulas.has_neighbor("x"),
+                GRAPH_SIGNATURE,
+                width=1,
+                free_var="x",
+                structure_filter=undirected_graph_filter,
+                cache=cache,
+                passes=passes,
+            )
+
+        optimized = build(None)
+        ablated = build(())
+        assert optimized._single_pass and not ablated._single_pass
+        structure = graph_to_structure(Graph.path(6))
+        want = optimized.query(structure)
+        assert ablated.query(structure) == want
+        # backend clones inherit their parent's pass configuration and
+        # answer the same; nothing leaks across the shared cache
+        assert optimized.with_backend("semi-naive").query(structure) == want
+        assert ablated.with_backend("semi-naive").query(structure) == want
+        assert optimized.query(structure) == want
+        assert ablated.query(structure) == want
+
 
 class TestDefaultCache:
     def test_default_cache_is_shared(self):
